@@ -1,0 +1,53 @@
+//! End-to-end management benchmarks: the Fig. 12/13/17 machinery — one
+//! virtual second of a fully-loaded node per policy — plus Table 2's
+//! with/without-interference pair.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvhsm_bench::bench_node;
+use nvhsm_core::{NodeConfig, NodeSim, PolicyKind};
+use nvhsm_workload::hibench::{profile, Benchmark};
+use nvhsm_workload::SpecProgram;
+
+/// Fig. 12/13/17: one virtual second per management policy.
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node_sim_policies");
+    group.sample_size(10);
+    for policy in PolicyKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("one_virtual_second", policy.to_string()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut sim = bench_node(policy, 7);
+                    black_box(sim.run_secs(1))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Table 2: the interference pair (with vs without 429.mcf).
+fn bench_interference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_interference");
+    group.sample_size(10);
+    for (label, spec) in [("quiet", None), ("mcf", Some(SpecProgram::Mcf429))] {
+        group.bench_with_input(BenchmarkId::new("basil", label), &spec, |b, &spec| {
+            b.iter(|| {
+                let mut cfg = NodeConfig::small();
+                cfg.policy = PolicyKind::Basil;
+                cfg.train_requests = 30;
+                cfg.spec = spec;
+                let mut sim = NodeSim::new(cfg, 9);
+                let p = profile(Benchmark::Bayes);
+                let blocks = p.working_set_blocks / 16;
+                sim.add_workload(p.with_working_set(blocks));
+                black_box(sim.run_secs(1))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_interference);
+criterion_main!(benches);

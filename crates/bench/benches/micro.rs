@@ -1,0 +1,149 @@
+//! Microbenchmarks of every substrate's hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nvhsm_cache::{BufferCache, LfuCache, LrfuCache, LruCache};
+use nvhsm_flash::{FlashConfig, FlashDevice, PageFtl};
+use nvhsm_mem::{DramConfig, DramSystem, MemOp, MemRequest};
+use nvhsm_model::{Dataset, Features, PerfModel, Sample};
+use nvhsm_sim::{EventQueue, SimRng, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_1k", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1024);
+            for i in 0..1024u64 {
+                q.push(SimTime::from_ns(rng.below(1_000_000)), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_caches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    let trace: Vec<u64> = {
+        let mut rng = SimRng::new(2);
+        (0..10_000).map(|_| rng.below(4_096)).collect()
+    };
+    group.bench_function("lrfu_10k_accesses", |b| {
+        b.iter(|| {
+            let mut cache = LrfuCache::new(1024, 0.05);
+            for &blk in &trace {
+                black_box(cache.access(blk, false));
+            }
+        })
+    });
+    group.bench_function("lru_10k_accesses", |b| {
+        b.iter(|| {
+            let mut cache = LruCache::new(1024);
+            for &blk in &trace {
+                black_box(cache.access(blk, false));
+            }
+        })
+    });
+    group.bench_function("lfu_10k_accesses", |b| {
+        b.iter(|| {
+            let mut cache = LfuCache::new(1024);
+            for &blk in &trace {
+                black_box(cache.access(blk, false));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_ftl(c: &mut Criterion) {
+    c.bench_function("ftl/write_churn_4k", |b| {
+        let cfg = FlashConfig::small_test();
+        let mut rng = SimRng::new(3);
+        b.iter(|| {
+            let mut ftl = PageFtl::new(&cfg);
+            let logical = ftl.logical_pages();
+            for _ in 0..4_096 {
+                ftl.write(rng.below(logical / 2));
+            }
+            black_box(ftl.gc_runs())
+        })
+    });
+}
+
+fn bench_flash_device(c: &mut Criterion) {
+    c.bench_function("flash/mixed_1k_ios", |b| {
+        let mut rng = SimRng::new(4);
+        b.iter(|| {
+            let mut dev = FlashDevice::new(FlashConfig::small_test());
+            let mut t = SimTime::ZERO;
+            for i in 0..1_000u64 {
+                let lpn = rng.below(512);
+                t = if i % 3 == 0 {
+                    dev.write(lpn, t)
+                } else {
+                    dev.read(lpn, t)
+                };
+            }
+            black_box(t)
+        })
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram/access_4k_lines", |b| {
+        let mut rng = SimRng::new(5);
+        b.iter(|| {
+            let mut sys = DramSystem::new(DramConfig::ddr3_1600());
+            let mut t = SimTime::ZERO;
+            for _ in 0..4_096 {
+                let addr = rng.below(1 << 28);
+                t = sys.access(MemRequest::new(addr, MemOp::Read), t);
+            }
+            black_box(t)
+        })
+    });
+}
+
+fn bench_model(c: &mut Criterion) {
+    let mut rng = SimRng::new(6);
+    let mut data = Dataset::new();
+    for _ in 0..500 {
+        let f = Features {
+            wr_ratio: rng.uniform(),
+            oios: rng.uniform() * 32.0,
+            ios: rng.uniform() * 16.0,
+            wr_rand: rng.uniform(),
+            rd_rand: rng.uniform(),
+            free_space_ratio: rng.uniform(),
+        };
+        data.push(Sample {
+            features: f,
+            latency_us: 20.0 + 100.0 * f.rd_rand + 5.0 * f.oios,
+        });
+    }
+    c.bench_function("model/train_500", |b| {
+        b.iter(|| black_box(PerfModel::train(&data)))
+    });
+    let model = PerfModel::train(&data);
+    let probe = Features {
+        oios: 3.0,
+        rd_rand: 0.4,
+        ..Features::default()
+    };
+    c.bench_function("model/predict", |b| {
+        b.iter(|| black_box(model.predict(&probe)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_caches,
+    bench_ftl,
+    bench_flash_device,
+    bench_dram,
+    bench_model
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Benchmark support crate.
+//!
+//! The Criterion benchmarks live in `benches/`:
+//!
+//! * `micro` — hot-path microbenchmarks of every substrate (event queue,
+//!   LRFU, FTL, NAND device, DRAM bank model, regression tree).
+//! * `paper` — one group per paper table/figure, exercising the same code
+//!   paths as the `experiments` harness at benchmark-friendly sizes, plus
+//!   the DESIGN.md ablations (model kinds, bus models, scheduling
+//!   policies, cache policies).
+//! * `management` — end-to-end node-simulation benchmarks per management
+//!   policy (the Fig. 12/13/17 machinery).
+//!
+//! This lib only hosts shared helpers for those benches.
+
+use nvhsm_core::{NodeConfig, NodeSim, PolicyKind};
+use nvhsm_workload::hibench::{profile, Benchmark};
+
+/// Builds a small, ready-to-run node simulation for end-to-end benches.
+pub fn bench_node(policy: PolicyKind, seed: u64) -> NodeSim {
+    let mut cfg = NodeConfig::small();
+    cfg.policy = policy;
+    cfg.train_requests = 30;
+    let mut sim = NodeSim::new(cfg, seed);
+    for b in [Benchmark::Sort, Benchmark::Bayes, Benchmark::Pagerank] {
+        let p = profile(b);
+        let blocks = p.working_set_blocks / 16;
+        sim.add_workload(p.with_working_set(blocks));
+    }
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_node_runs() {
+        let mut sim = bench_node(PolicyKind::Bca, 7);
+        let report = sim.run_secs(1);
+        assert!(report.io_count > 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Migration-aware buffer-cache bypassing (§5.3.2 of the paper).
+//!
+//! During a VMDK migration the source NVDIMM streams enormous amounts of
+//! data that will never be referenced again locally — caching it evicts the
+//! live working set and collapses the hit ratio (Fig. 15). The paper's
+//! mechanism classifies each request (one tag bit carried from the storage
+//! manager down to the controller) and routes migrated reads directly
+//! between flash and the memory controller.
+//!
+//! [`BypassCache`] wraps any [`BufferCache`] and applies that rule: normal
+//! accesses go through the policy; migrated accesses never insert, never
+//! evict, and never promote — if the block happens to be resident it is
+//! served from the cache (and a migrated *read* of a dirty resident block
+//! reports the dirty data without flushing).
+
+use crate::{BufferCache, CacheOutcome};
+
+/// Classification of an access reaching the NVDIMM controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessClass {
+    /// Ordinary workload I/O: full cache semantics.
+    Normal,
+    /// Migration traffic: bypasses the cache.
+    Migrated,
+}
+
+/// A cache wrapper implementing migrated-request bypassing.
+///
+/// # Examples
+///
+/// ```
+/// use nvhsm_cache::{AccessClass, BufferCache, BypassCache, LrfuCache};
+///
+/// let mut c = BypassCache::new(LrfuCache::new(2, 0.5));
+/// c.access_classified(1, false, AccessClass::Normal);
+/// // A migration sweep does not displace block 1:
+/// for b in 100..200 {
+///     c.access_classified(b, false, AccessClass::Migrated);
+/// }
+/// assert!(c.contains(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BypassCache<C> {
+    inner: C,
+    bypassed: u64,
+    bypass_hits: u64,
+}
+
+impl<C: BufferCache> BypassCache<C> {
+    /// Wraps `inner` with bypass support.
+    pub fn new(inner: C) -> Self {
+        BypassCache {
+            inner,
+            bypassed: 0,
+            bypass_hits: 0,
+        }
+    }
+
+    /// Accesses `block` with an explicit classification.
+    ///
+    /// Migrated accesses do not touch the replacement state and are *not*
+    /// counted in the inner cache's hit/miss statistics (the paper measures
+    /// the hit ratio of normal traffic).
+    pub fn access_classified(
+        &mut self,
+        block: u64,
+        write: bool,
+        class: AccessClass,
+    ) -> CacheOutcome {
+        match class {
+            AccessClass::Normal => self.inner.access(block, write),
+            AccessClass::Migrated => {
+                self.bypassed += 1;
+                if self.inner.contains(block) {
+                    self.bypass_hits += 1;
+                    CacheOutcome {
+                        hit: true,
+                        evicted: None,
+                    }
+                } else {
+                    CacheOutcome::miss(None)
+                }
+            }
+        }
+    }
+
+    /// Migrated accesses seen.
+    pub fn bypassed(&self) -> u64 {
+        self.bypassed
+    }
+
+    /// Migrated accesses that happened to find the block resident.
+    pub fn bypass_hits(&self) -> u64 {
+        self.bypass_hits
+    }
+
+    /// The wrapped cache.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Unwraps the inner cache.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: BufferCache> BufferCache for BypassCache<C> {
+    fn access(&mut self, block: u64, write: bool) -> CacheOutcome {
+        self.inner.access(block, write)
+    }
+
+    fn invalidate(&mut self, block: u64) -> Option<bool> {
+        self.inner.invalidate(block)
+    }
+
+    fn contains(&self, block: u64) -> bool {
+        self.inner.contains(block)
+    }
+
+    fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn hits(&self) -> u64 {
+        self.inner.hits()
+    }
+
+    fn misses(&self) -> u64 {
+        self.inner.misses()
+    }
+
+    fn reset_counters(&mut self) {
+        self.inner.reset_counters();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lrfu::LrfuCache;
+    use nvhsm_sim::SimRng;
+
+    #[test]
+    fn migrated_accesses_never_insert() {
+        let mut c = BypassCache::new(LrfuCache::new(4, 0.5));
+        c.access_classified(1, false, AccessClass::Migrated);
+        assert!(!c.contains(1));
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.bypassed(), 1);
+    }
+
+    #[test]
+    fn migrated_access_of_resident_block_hits_without_promotion() {
+        let mut c = BypassCache::new(LrfuCache::new(2, 8.0));
+        c.access_classified(1, false, AccessClass::Normal);
+        c.access_classified(2, false, AccessClass::Normal);
+        // Migrated touch of 1 must NOT make it most-recent.
+        let out = c.access_classified(1, false, AccessClass::Migrated);
+        assert!(out.hit);
+        assert_eq!(c.bypass_hits(), 1);
+        // Under λ→LRU, inserting 3 must evict 1 (migrated touch didn't
+        // promote it).
+        let out = c.access_classified(3, false, AccessClass::Normal);
+        assert_eq!(out.evicted, Some((1, false)));
+    }
+
+    #[test]
+    fn fig15_shape_migration_sweep_destroys_plain_lrfu_not_bypass() {
+        // The paper's Fig. 15 in miniature: a hot working set keeps the hit
+        // ratio high; a migration sweep through a plain LRFU cache drags it
+        // down, while the bypassing cache stays stable.
+        let capacity = 256;
+        let hot_set = 200u64;
+        let mut rng = SimRng::new(7);
+
+        let run = |bypass: bool, rng: &mut SimRng| -> f64 {
+            let mut c = BypassCache::new(LrfuCache::new(capacity, 0.1));
+            // Warm up.
+            for _ in 0..20_000 {
+                c.access_classified(rng.below(hot_set), false, AccessClass::Normal);
+            }
+            c.reset_counters();
+            // Interleave normal traffic with a huge migration sweep.
+            let mut sweep = 10_000u64;
+            for i in 0..60_000 {
+                if i % 2 == 0 {
+                    c.access_classified(rng.below(hot_set), false, AccessClass::Normal);
+                } else {
+                    let class = if bypass {
+                        AccessClass::Migrated
+                    } else {
+                        AccessClass::Normal
+                    };
+                    c.access_classified(sweep, false, class);
+                    sweep += 1;
+                }
+            }
+            c.hit_ratio()
+        };
+
+        let with_bypass = run(true, &mut rng);
+        let without = run(false, &mut rng);
+        assert!(
+            with_bypass > 0.9,
+            "bypassing cache lost the working set: {with_bypass}"
+        );
+        assert!(
+            without < with_bypass - 0.1,
+            "sweep did not hurt plain cache: {without} vs {with_bypass}"
+        );
+    }
+
+    #[test]
+    fn trait_passthrough_works() {
+        let mut c = BypassCache::new(LrfuCache::new(2, 0.5));
+        c.access(5, true);
+        assert!(c.contains(5));
+        assert_eq!(c.capacity(), 2);
+        assert_eq!(c.invalidate(5), Some(true));
+    }
+}

@@ -1,0 +1,56 @@
+//! NVDIMM-based heterogeneous storage hierarchy management — the paper's
+//! core contribution (§5), plus the baselines it compares against and the
+//! node/cluster simulation loops that drive the evaluation (§6).
+//!
+//! Components:
+//!
+//! * [`vmdk`] / [`datastore`] — virtual machine disks and the devices they
+//!   live on, with block allocation and address translation.
+//! * [`training`] — offline pretraining of the §4 performance model, one
+//!   per device tier, on the synthetic workload grid.
+//! * [`manager`] — the management brain run once per epoch: per-device
+//!   performance estimation (Eq. 5: *predicted* for NVDIMMs under BCA,
+//!   measured for the baselines), imbalance detection with threshold τ,
+//!   candidate selection, and the cost/benefit gate (Eq. 6/7).
+//! * [`migration`] — migration execution: full copy, LightSRM-style I/O
+//!   mirroring, and the paper's lazy migration (mirroring + bitmap +
+//!   cost/benefit-gated background copy).
+//! * [`policy`] — the six policies under evaluation: BASIL, Pesto,
+//!   LightSRM, BCA, BCA+lazy, BCA+lazy+architectural optimization.
+//! * [`node`] — [`NodeSim`]: one server node with NVDIMM + SSD + HDD,
+//!   big-data workloads, SPEC-like memory interference, and a management
+//!   loop.
+//! * [`cluster`] — [`ClusterSim`]: multiple nodes with cross-node
+//!   migrations over a NIC model.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvhsm_core::{NodeConfig, NodeSim, PolicyKind};
+//! use nvhsm_workload::hibench::{profile, Benchmark};
+//!
+//! let mut cfg = NodeConfig::small();
+//! cfg.policy = PolicyKind::BcaLazy;
+//! let mut sim = NodeSim::new(cfg, 42);
+//! sim.add_workload(profile(Benchmark::Sort));
+//! let report = sim.run_secs(1);
+//! assert!(report.io_count > 0);
+//! ```
+
+pub mod cluster;
+pub mod datastore;
+pub mod manager;
+pub mod migration;
+pub mod node;
+pub mod policy;
+pub mod training;
+pub mod vmdk;
+
+pub use cluster::{ClusterConfig, ClusterReport, ClusterSim};
+pub use datastore::{Datastore, DatastoreId};
+pub use manager::{Manager, MigrationDecision};
+pub use migration::{Bitmap, MigrationMode};
+pub use node::{MigrationEvent, NodeConfig, NodeReport, NodeSim};
+pub use policy::PolicyKind;
+pub use training::pretrain_models;
+pub use vmdk::{Vmdk, VmdkId};

@@ -1,0 +1,620 @@
+//! The per-epoch management brain: performance estimation (Eq. 5),
+//! imbalance detection (threshold τ), candidate selection, the cost/benefit
+//! gate (Eq. 6/7) and initial placement (Eq. 4).
+//!
+//! The [`Manager`] is policy-parameterized: the BCA family estimates
+//! NVDIMM performance with the §4 model (de-biasing bus contention), while
+//! the baselines use measured latency — which is exactly how contention
+//! tricks them into ping-pong migrations (§3, Fig. 3).
+
+use crate::datastore::DatastoreId;
+use crate::migration::{migration_benefit_us, migration_cost_us, MigrationMode, UnitCosts};
+use crate::policy::PolicyKind;
+use crate::training::DeviceModels;
+use crate::vmdk::VmdkId;
+use nvhsm_device::{DeviceKind, EpochStats};
+use nvhsm_model::Features;
+use serde::{Deserialize, Serialize};
+
+/// Per-resident-VMDK information handed to the manager each epoch.
+#[derive(Debug, Clone)]
+pub struct ResidentInfo {
+    /// The VMDK.
+    pub vmdk: VmdkId,
+    /// Image size in blocks.
+    pub size_blocks: u64,
+    /// Eq. 2 features of this workload in the closing epoch (profile mix +
+    /// measured OIO share).
+    pub features: Features,
+    /// Requests this workload issued in the epoch.
+    pub io_count: u64,
+    /// Measured mean latency of this workload, µs.
+    pub mean_latency_us: f64,
+    /// Anticipated live traffic, blocks over the manager's lookahead
+    /// (`Q_live` in Eq. 7).
+    pub live_blocks: u64,
+}
+
+/// Per-datastore observation for one epoch.
+#[derive(Debug, Clone)]
+pub struct DeviceObservation {
+    /// Which datastore.
+    pub ds: DatastoreId,
+    /// Device tier.
+    pub kind: DeviceKind,
+    /// Epoch statistics from the device.
+    pub epoch: EpochStats,
+    /// Device free-space ratio (GC pressure).
+    pub free_space: f64,
+    /// Largest VMDK that still fits, blocks.
+    pub free_capacity_blocks: u64,
+    /// Residents and their per-epoch info.
+    pub residents: Vec<ResidentInfo>,
+}
+
+impl DeviceObservation {
+    fn loaded(&self) -> bool {
+        self.epoch.io_count() >= 10
+    }
+}
+
+/// The manager's verdict for one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationDecision {
+    /// VMDK to move.
+    pub vmdk: VmdkId,
+    /// From.
+    pub src: DatastoreId,
+    /// To.
+    pub dst: DatastoreId,
+    /// How.
+    pub mode: MigrationMode,
+}
+
+/// Detailed rationale of one epoch decision (for tests and experiment
+/// logging).
+#[derive(Debug, Clone, Default)]
+pub struct EpochDiagnostics {
+    /// Device performance (µs, Eq. 5) per datastore, in observation order.
+    pub normalized_perf: Vec<(DatastoreId, f64)>,
+    /// Imbalance fraction Δ/max.
+    pub imbalance: f64,
+    /// Whether the τ threshold was exceeded.
+    pub triggered: bool,
+    /// Whether the cost/benefit or what-if gate vetoed the candidate.
+    pub vetoed: bool,
+}
+
+/// The storage manager.
+#[derive(Debug)]
+pub struct Manager {
+    policy: PolicyKind,
+    tau: f64,
+    models: DeviceModels,
+    last_diagnostics: EpochDiagnostics,
+    /// Consecutive epochs the imbalance threshold has been exceeded.
+    /// Short epochs are statistically noisy (the paper samples 30-minute
+    /// windows); requiring persistence debounces one-epoch spikes.
+    consecutive_triggers: u32,
+}
+
+impl Manager {
+    /// Builds a manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is not in `(0, 1]`.
+    pub fn new(policy: PolicyKind, tau: f64, models: DeviceModels) -> Self {
+        assert!(tau > 0.0 && tau <= 1.0, "tau must be in (0, 1]");
+        Manager {
+            policy,
+            tau,
+            models,
+            last_diagnostics: EpochDiagnostics::default(),
+            consecutive_triggers: 1, // first call may act immediately
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+
+    /// The imbalance threshold τ.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Changes τ (the §6.2.1 sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is not in `(0, 1]`.
+    pub fn set_tau(&mut self, tau: f64) {
+        assert!(tau > 0.0 && tau <= 1.0, "tau must be in (0, 1]");
+        self.tau = tau;
+    }
+
+    /// The trained device models.
+    pub fn models(&self) -> &DeviceModels {
+        &self.models
+    }
+
+    /// Diagnostics of the most recent [`Manager::epoch_decision`] call.
+    pub fn last_diagnostics(&self) -> &EpochDiagnostics {
+        &self.last_diagnostics
+    }
+
+    /// Device performance per Eq. 5: measured for non-NVDIMM devices (and
+    /// for every device under the baselines), model-predicted for NVDIMMs
+    /// under BCA. Returned in µs.
+    fn device_perf_us(&self, obs: &DeviceObservation) -> f64 {
+        if self.policy.uses_prediction() && obs.kind == DeviceKind::Nvdimm {
+            // PP_d = mean over resident workloads of PP_w (Eq. 5, NVDIMM
+            // branch).
+            let loaded: Vec<&ResidentInfo> =
+                obs.residents.iter().filter(|r| r.io_count > 0).collect();
+            if loaded.is_empty() {
+                return 0.0;
+            }
+            let model = self.models.model(DeviceKind::Nvdimm);
+            loaded
+                .iter()
+                .map(|r| model.predict(&r.features))
+                .sum::<f64>()
+                / loaded.len() as f64
+        } else {
+            obs.epoch.mean_latency_us()
+        }
+    }
+
+
+    /// Estimated per-unit latency of `obs`'s device if workload `w` were
+    /// added (`+1`) or removed (`-1`): the what-if model.
+    ///
+    /// The *destination* estimate uses the trained device model for every
+    /// policy — BASIL and Pesto maintain online device models of exactly
+    /// this kind; what distinguishes them from BCA is not model quality
+    /// but contention-blindness on the *source* side.
+    fn what_if_us(&self, obs: &DeviceObservation, w: &ResidentInfo, add: bool) -> f64 {
+        if add {
+            let model = self.models.model(obs.kind);
+            let mut f = w.features;
+            // At the destination the workload competes with the resident
+            // load: fold the device's measured OIO in.
+            f.oios += obs.epoch.oio();
+            f.free_space_ratio = obs.free_space;
+            return model.predict(&f);
+        }
+        let current = self.device_perf_us(obs);
+        if self.policy.uses_prediction() && obs.kind == DeviceKind::Nvdimm {
+            // Removing it from an NVDIMM: remaining residents' prediction
+            // (Eq. 5 applies the model to NVDIMMs only).
+            let model = self.models.model(obs.kind);
+            let rest: Vec<&ResidentInfo> = obs
+                .residents
+                .iter()
+                .filter(|r| r.vmdk != w.vmdk && r.io_count > 0)
+                .collect();
+            if rest.is_empty() {
+                0.0
+            } else {
+                rest.iter().map(|r| model.predict(&r.features)).sum::<f64>()
+                    / rest.len() as f64
+            }
+        } else {
+            // The baselines attribute the device's measured latency to its
+            // I/O load: removing a workload is expected to shave its share
+            // off. This is exactly the misattribution the paper describes —
+            // when the latency actually comes from bus contention, the
+            // expected gain never materializes.
+            let share = if obs.epoch.io_count() > 0 {
+                w.io_count as f64 / obs.epoch.io_count() as f64
+            } else {
+                0.0
+            };
+            (current * (1.0 - share)).max(0.0)
+        }
+    }
+
+    /// The per-epoch decision: detect imbalance, select a candidate, gate
+    /// it. `migration_active` suppresses new decisions while one runs.
+    pub fn epoch_decision(
+        &mut self,
+        observations: &[DeviceObservation],
+        migration_active: bool,
+    ) -> Option<MigrationDecision> {
+        let mut diag = EpochDiagnostics::default();
+        // Raw per-device latencies (Eq. 5): the paper compares device
+        // performance directly, which is what drives load toward the fast
+        // tier and exposes contention mispredictions.
+        let perfs: Vec<f64> = observations
+            .iter()
+            .map(|o| if o.loaded() { self.device_perf_us(o) } else { 0.0 })
+            .collect();
+        for (o, &p) in observations.iter().zip(&perfs) {
+            diag.normalized_perf.push((o.ds, p));
+        }
+
+        let (max_i, max_p) = perfs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite perf"))
+            .map(|(i, &p)| (i, p))?;
+        // Δ is computed over *loaded* devices; an idle tier is a candidate
+        // destination, not a counted imbalance (otherwise any load at all
+        // reads as Δ/max = 1).
+        let loaded_perfs: Vec<f64> = observations
+            .iter()
+            .zip(&perfs)
+            .filter(|(o, _)| o.loaded())
+            .map(|(_, &p)| p)
+            .collect();
+        let min_p = if loaded_perfs.len() >= 2 {
+            loaded_perfs.iter().copied().fold(f64::INFINITY, f64::min)
+        } else {
+            // A single loaded device next to idle tiers: the idle side
+            // counts as zero load.
+            0.0
+        };
+        diag.imbalance = if max_p > 0.0 && observations.len() >= 2 {
+            (max_p - min_p) / max_p
+        } else {
+            0.0
+        };
+        let exceeded = diag.imbalance > self.tau;
+        if exceeded {
+            self.consecutive_triggers += 1;
+        } else {
+            self.consecutive_triggers = 0;
+        }
+        diag.triggered = exceeded && self.consecutive_triggers >= 2 && !migration_active;
+        if !diag.triggered {
+            self.last_diagnostics = diag;
+            return None;
+        }
+
+        let src_obs = &observations[max_i];
+        // Candidate workloads: residents of the overloaded device in
+        // descending latency contribution; the first one that passes the
+        // gates moves.
+        let mut candidates: Vec<&ResidentInfo> = src_obs
+            .residents
+            .iter()
+            .filter(|r| r.io_count > 0)
+            .collect();
+        candidates.sort_by(|a, b| {
+            (b.io_count as f64 * b.mean_latency_us)
+                .partial_cmp(&(a.io_count as f64 * a.mean_latency_us))
+                .expect("finite contribution")
+        });
+        for w in candidates {
+
+        // Destination: the device whose predicted latency after receiving
+        // the workload is lowest (Eq. 4's minimum-average criterion reduces
+        // to this for a single move).
+        let dst = observations
+            .iter()
+            .filter(|o| o.ds != src_obs.ds && o.free_capacity_blocks >= w.size_blocks)
+            .map(|o| (o, self.what_if_us(o, w, true)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite what-if"));
+        let Some((dst_obs, _)) = dst else {
+            continue;
+        };
+
+        // Gates.
+        let src_before = self.device_perf_us(src_obs);
+        // Eq. 7: "if the destination has no load, the migrated workload is
+        // used for the calculation at the destination" — the before-side of
+        // an empty destination is the workload's current latency, so the
+        // benefit reflects what the workload itself stands to gain.
+        let dst_before = if dst_obs.loaded() {
+            self.device_perf_us(dst_obs)
+        } else {
+            w.mean_latency_us
+        };
+        let src_after = self.what_if_us(src_obs, w, false);
+        let dst_after = self.what_if_us(dst_obs, w, true);
+
+        let accept = if self.policy.cost_benefit() {
+            let unit = UnitCosts {
+                src_read_us: per_block_read_us(src_obs, &self.models),
+                dst_write_us: per_block_write_us(dst_obs, &self.models),
+                src_contention_us: self.contention_us(src_obs),
+                dst_contention_us: self.contention_us(dst_obs),
+            };
+            let moved = if self.policy.mirroring() {
+                // Mirroring avoids copying blocks the workload will
+                // overwrite anyway: discount by the write ratio.
+                (w.size_blocks as f64 * (1.0 - w.features.wr_ratio)) as u64
+            } else {
+                w.size_blocks
+            };
+            let cost = migration_cost_us(moved, &unit);
+            let benefit =
+                migration_benefit_us(w.live_blocks, src_before + dst_before, src_after + dst_after);
+            benefit > cost
+        } else {
+            // BASIL: accept any move its model says improves the hot spot.
+            dst_after < max_p
+        };
+
+        if !accept {
+            continue;
+        }
+        self.last_diagnostics = diag;
+
+        let mode = if self.policy.lazy_copy() {
+            MigrationMode::Lazy
+        } else if self.policy.mirroring() {
+            MigrationMode::Mirror
+        } else {
+            MigrationMode::FullCopy
+        };
+        return Some(MigrationDecision {
+            vmdk: w.vmdk,
+            src: src_obs.ds,
+            dst: dst_obs.ds,
+            mode,
+        });
+        }
+        diag.vetoed = true;
+        self.last_diagnostics = diag;
+        None
+    }
+
+    /// Bus-contention term per block for Eq. 6: BCA estimates it as
+    /// measured − predicted on NVDIMMs; baselines (and non-NVDIMMs) carry
+    /// no term.
+    fn contention_us(&self, obs: &DeviceObservation) -> f64 {
+        if !self.policy.uses_prediction() || obs.kind != DeviceKind::Nvdimm || !obs.loaded() {
+            return 0.0;
+        }
+        let predicted = self.device_perf_us(obs);
+        (obs.epoch.mean_latency_us() - predicted).max(0.0)
+    }
+
+    /// Eq. 4 initial placement: choose the datastore minimizing the average
+    /// predicted system latency, skipping those that would immediately
+    /// trigger a migration (imbalance above τ after placement).
+    pub fn initial_placement(
+        &self,
+        observations: &[DeviceObservation],
+        new_workload: &ResidentInfo,
+    ) -> Option<DatastoreId> {
+        let mut best: Option<(DatastoreId, f64)> = None;
+        for (i, obs) in observations.iter().enumerate() {
+            if obs.free_capacity_blocks < new_workload.size_blocks {
+                continue;
+            }
+            let with_new = self.what_if_us(obs, new_workload, true);
+            // Average system performance if placed here (Eq. 4).
+            let mut total = 0.0;
+            let mut norms = Vec::with_capacity(observations.len());
+            for (j, other) in observations.iter().enumerate() {
+                let p = if j == i {
+                    with_new
+                } else {
+                    self.device_perf_us(other)
+                };
+                total += p;
+                // Idle devices do not participate in the imbalance
+                // preview — an empty tier is an opportunity, not a hot
+                // spot.
+                if j == i || other.loaded() {
+                    norms.push(p);
+                }
+            }
+            let avg = total / observations.len() as f64;
+            // §5.1.1: reject candidates whose placement would immediately
+            // trip the imbalance detector (raw-latency imbalance).
+            let max_n = norms.iter().cloned().fold(0.0f64, f64::max);
+            let min_n = norms.iter().cloned().fold(f64::INFINITY, f64::min);
+            let imbalance = if max_n > 0.0 && norms.len() > 1 {
+                (max_n - min_n) / max_n
+            } else {
+                0.0
+            };
+            if imbalance > self.tau {
+                continue;
+            }
+            if best.is_none_or(|(_, b)| avg < b) {
+                best = Some((obs.ds, avg));
+            }
+        }
+        best.map(|(ds, _)| ds)
+    }
+}
+
+/// Per-block source read time estimate for Eq. 6, µs. Bulk copies stream
+/// sequentially, so the unit cost is the device's measured streaming rate,
+/// not the congested random-access latency.
+fn per_block_read_us(obs: &DeviceObservation, models: &DeviceModels) -> f64 {
+    models.seq_block_us(obs.kind)
+}
+
+/// Per-block destination write time estimate for Eq. 6, µs.
+fn per_block_write_us(obs: &DeviceObservation, models: &DeviceModels) -> f64 {
+    models.seq_block_us(obs.kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::pretrain_models;
+    use nvhsm_device::DeviceStats;
+    use nvhsm_sim::{SimDuration, SimTime};
+
+    fn epoch_with(reads: u64, latency_us: f64) -> EpochStats {
+        // Build an epoch through the public DeviceStats API.
+        let mut stats = DeviceStats::new();
+        for i in 0..reads {
+            let req = nvhsm_device::IoRequest::normal(
+                0,
+                i * 17,
+                1,
+                nvhsm_device::IoOp::Read,
+                SimTime::ZERO,
+            );
+            stats.record(&req, SimDuration::from_us_f64(latency_us));
+        }
+        stats.take_epoch(SimTime::from_ms(100))
+    }
+
+    fn obs(
+        ds: usize,
+        kind: DeviceKind,
+        latency_us: f64,
+        ios: u64,
+        residents: Vec<ResidentInfo>,
+    ) -> DeviceObservation {
+        DeviceObservation {
+            ds: DatastoreId(ds),
+            kind,
+            epoch: epoch_with(ios, latency_us),
+            free_space: 0.5,
+            free_capacity_blocks: 1_000_000,
+            residents,
+        }
+    }
+
+    fn resident(id: u32, latency_us: f64, ios: u64) -> ResidentInfo {
+        ResidentInfo {
+            vmdk: VmdkId(id),
+            size_blocks: 10_000,
+            features: Features {
+                wr_ratio: 0.3,
+                oios: 1.0,
+                ios: 1.0,
+                wr_rand: 0.5,
+                rd_rand: 0.5,
+                free_space_ratio: 0.5,
+            },
+            io_count: ios,
+            mean_latency_us: latency_us,
+            live_blocks: 100_000,
+        }
+    }
+
+    fn manager(policy: PolicyKind) -> Manager {
+        Manager::new(policy, 0.5, pretrain_models(30, 3))
+    }
+
+    #[test]
+    fn balanced_system_makes_no_decision() {
+        let mut m = manager(PolicyKind::Basil);
+        // Two devices of the same tier at similar raw latency: balanced
+        // (raw Eq. 5 comparison, like the paper's).
+        let o = vec![
+            obs(0, DeviceKind::Ssd, 100.0, 100, vec![resident(0, 100.0, 100)]),
+            obs(1, DeviceKind::Ssd, 110.0, 100, vec![resident(1, 110.0, 100)]),
+        ];
+        // Call twice: the debounce requires persistence anyway.
+        let _ = m.epoch_decision(&o, false);
+        let d = m.epoch_decision(&o, false);
+        assert!(d.is_none(), "{:?}", m.last_diagnostics());
+    }
+
+    #[test]
+    fn overloaded_device_triggers_migration() {
+        let mut m = manager(PolicyKind::Basil);
+        let nv_baseline = m.models().baseline_us(DeviceKind::Nvdimm);
+        // NVDIMM at 50x its baseline with a light workload; SSD idle.
+        let o = vec![
+            obs(
+                0,
+                DeviceKind::Nvdimm,
+                nv_baseline * 50.0,
+                50,
+                vec![resident(0, nv_baseline * 50.0, 50)],
+            ),
+            obs(1, DeviceKind::Ssd, 0.0, 0, vec![]),
+        ];
+        let d = m.epoch_decision(&o, false).expect("should migrate");
+        assert_eq!(d.src, DatastoreId(0));
+        assert_eq!(d.dst, DatastoreId(1));
+        assert_eq!(d.mode, MigrationMode::FullCopy);
+    }
+
+    #[test]
+    fn migration_suppressed_while_one_is_active() {
+        let mut m = manager(PolicyKind::Basil);
+        let nv_baseline = m.models().baseline_us(DeviceKind::Nvdimm);
+        let o = vec![
+            obs(
+                0,
+                DeviceKind::Nvdimm,
+                nv_baseline * 50.0,
+                50,
+                vec![resident(0, nv_baseline * 50.0, 50)],
+            ),
+            obs(1, DeviceKind::Ssd, 0.0, 0, vec![]),
+        ];
+        assert!(m.epoch_decision(&o, true).is_none());
+    }
+
+    #[test]
+    fn lazy_policy_yields_lazy_mode() {
+        let mut m = manager(PolicyKind::BcaLazy);
+        let nv_baseline = m.models().baseline_us(DeviceKind::Nvdimm);
+        let mut r = resident(0, nv_baseline * 50.0, 2000);
+        r.live_blocks = 10_000_000; // make the benefit overwhelming
+        let o = vec![
+            obs(0, DeviceKind::Nvdimm, nv_baseline * 50.0, 2000, vec![r]),
+            obs(1, DeviceKind::Ssd, 0.0, 0, vec![]),
+        ];
+        if let Some(d) = m.epoch_decision(&o, false) {
+            assert_eq!(d.mode, MigrationMode::Lazy);
+        }
+    }
+
+    #[test]
+    fn cost_benefit_vetoes_worthless_moves() {
+        let mut m = manager(PolicyKind::Pesto);
+        let nv_baseline = m.models().baseline_us(DeviceKind::Nvdimm);
+        // Overloaded, but almost no anticipated traffic: benefit ≈ 0.
+        let mut r = resident(0, nv_baseline * 20.0, 500);
+        r.live_blocks = 1;
+        let o = vec![
+            obs(
+                0,
+                DeviceKind::Nvdimm,
+                nv_baseline * 20.0,
+                500,
+                vec![r],
+            ),
+            obs(1, DeviceKind::Ssd, 0.0, 0, vec![]),
+        ];
+        assert!(m.epoch_decision(&o, false).is_none());
+        assert!(m.last_diagnostics().vetoed);
+    }
+
+    #[test]
+    fn initial_placement_prefers_fast_empty_device() {
+        let m = manager(PolicyKind::Bca);
+        let o = vec![
+            obs(0, DeviceKind::Nvdimm, 0.0, 0, vec![]),
+            obs(1, DeviceKind::Hdd, 0.0, 0, vec![]),
+        ];
+        let w = resident(9, 0.0, 0);
+        let ds = m.initial_placement(&o, &w);
+        // Both are idle; the NVDIMM yields the lower predicted average.
+        assert_eq!(ds, Some(DatastoreId(0)));
+    }
+
+    #[test]
+    fn initial_placement_respects_capacity() {
+        let m = manager(PolicyKind::Bca);
+        let mut full = obs(0, DeviceKind::Nvdimm, 0.0, 0, vec![]);
+        full.free_capacity_blocks = 1;
+        let o = vec![full, obs(1, DeviceKind::Ssd, 0.0, 0, vec![])];
+        let w = resident(9, 0.0, 0);
+        assert_eq!(m.initial_placement(&o, &w), Some(DatastoreId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be in (0, 1]")]
+    fn invalid_tau_rejected() {
+        let _ = Manager::new(PolicyKind::Basil, 0.0, pretrain_models(30, 3));
+    }
+}

@@ -1,0 +1,1067 @@
+//! The server-node simulation: NVDIMM + SSD + HDD datastores, big-data
+//! workloads, SPEC-like memory interference, and the epoch-driven storage
+//! manager — the engine behind the paper's §6 experiments.
+//!
+//! The engine is activity-scan based: workload generators, the background
+//! migration copier and epoch boundaries are merged in time order; each
+//! I/O is served immediately by the addressed device (whose internal
+//! busy-until horizons model queueing). It supports multiple nodes — the
+//! cluster experiments wrap it — with cross-node migration traffic going
+//! through a NIC model.
+
+use crate::datastore::{Datastore, DatastoreId};
+use crate::manager::{DeviceObservation, Manager, MigrationDecision, ResidentInfo};
+use crate::migration::{ActiveMigration, MigrationMode};
+use crate::policy::PolicyKind;
+use crate::training::pretrain_models;
+use crate::vmdk::{Vmdk, VmdkId};
+use nvhsm_cache::BufferCache;
+use nvhsm_device::{
+    DeviceKind, HddConfig, HddDevice, IoOp, IoRequest, MigrationTuning, NvdimmConfig,
+    NvdimmDevice, SsdConfig, SsdDevice,
+};
+use nvhsm_model::Features;
+use nvhsm_sim::{OnlineStats, SimDuration, SimRng, SimTime};
+use nvhsm_workload::{GenOp, IoGenerator, SpecProgram, SpecTraffic, WorkloadProfile};
+use serde::{Deserialize, Serialize};
+
+/// Node simulation configuration.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// NVDIMM device configuration (one per node).
+    pub nvdimm: NvdimmConfig,
+    /// SSD device configuration (one per node).
+    pub ssd: SsdConfig,
+    /// HDD device configuration (one per node).
+    pub hdd: HddConfig,
+    /// Management policy.
+    pub policy: PolicyKind,
+    /// Imbalance threshold τ.
+    pub tau: f64,
+    /// Management epoch length.
+    pub epoch: SimDuration,
+    /// Memory-intensive co-runner (sets NVDIMM ambient bus utilization).
+    pub spec: Option<SpecProgram>,
+    /// Requests per training-grid point for model pretraining.
+    pub train_requests: usize,
+    /// Blocks in flight per background-copy round.
+    pub migration_batch: u32,
+    /// Closed-loop backpressure threshold: a request slower than this
+    /// stalls its workload until completion.
+    pub backpressure: SimDuration,
+    /// Eq. 7 lookahead for `Q_live`, in epochs.
+    pub lookahead_epochs: u32,
+    /// Cross-node NIC bandwidth, bytes/s.
+    pub nic_bandwidth: u64,
+    /// Cross-node NIC one-way latency.
+    pub nic_latency: SimDuration,
+}
+
+impl NodeConfig {
+    /// A laptop-scale configuration: 1 GiB NVDIMM, 2 GiB SSD, 4 GiB HDD
+    /// (Table 4 timing throughout), 200 ms epochs.
+    pub fn small() -> Self {
+        NodeConfig {
+            nvdimm: NvdimmConfig::small_test(),
+            ssd: SsdConfig::small_test(),
+            hdd: HddConfig::small_test(),
+            policy: PolicyKind::Bca,
+            tau: 0.5,
+            epoch: SimDuration::from_ms(200),
+            spec: None,
+            train_requests: 60,
+            migration_batch: 64,
+            backpressure: SimDuration::from_ms(20),
+            lookahead_epochs: 50,
+            nic_bandwidth: 125_000_000, // 1 Gb/s
+            nic_latency: SimDuration::from_us(100),
+        }
+    }
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// Per-device section of a [`NodeReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceReport {
+    /// Device tier.
+    pub kind: DeviceKind,
+    /// Node index.
+    pub node: usize,
+    /// Normal-class requests served.
+    pub io_count: u64,
+    /// Mean latency of normal-class requests, µs.
+    pub mean_latency_us: f64,
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// Policy that ran.
+    pub policy: String,
+    /// Total normal-class requests served.
+    pub io_count: u64,
+    /// Mean latency across all workload requests, µs.
+    pub mean_latency_us: f64,
+    /// Per-device breakdown.
+    pub devices: Vec<DeviceReport>,
+    /// Migrations the manager started.
+    pub migrations_started: u64,
+    /// Migrations that completed within the run.
+    pub migrations_completed: u64,
+    /// Total migration copy activity (busy) time: the Fig. 13 metric.
+    /// Mirrored writes and gated-idle stretches of lazy migrations do not
+    /// count.
+    pub migration_time: SimDuration,
+    /// Total migration wall-clock time, start to finish (unfinished
+    /// migrations count until the horizon).
+    pub migration_wall_time: SimDuration,
+    /// Blocks moved by background copying.
+    pub copied_blocks: u64,
+    /// Blocks that reached destinations via mirrored writes.
+    pub mirrored_blocks: u64,
+    /// NVDIMM buffer-cache hit ratio per epoch, as (cumulative NVDIMM
+    /// requests, hit ratio) — Fig. 15's axes.
+    pub nvdimm_hit_ratio: Vec<(u64, f64)>,
+    /// NVDIMM mean workload latency per epoch, µs (Fig. 4/7 time series).
+    pub nvdimm_latency_series: Vec<f64>,
+    /// NVDIMM ambient bus utilization per epoch (Fig. 4's second axis).
+    pub bus_utilization_series: Vec<f64>,
+    /// Every migration the manager started in the measured window.
+    pub migration_log: Vec<MigrationEvent>,
+}
+
+/// One entry of the migration log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationEvent {
+    /// When the migration started.
+    pub started: SimTime,
+    /// The VMDK moved.
+    pub vmdk: VmdkId,
+    /// Source datastore index.
+    pub src: usize,
+    /// Destination datastore index.
+    pub dst: usize,
+    /// Migration mode.
+    pub mode: MigrationMode,
+}
+
+impl NodeReport {
+    /// Per-device latencies normalized to the slowest device (Fig. 12's
+    /// metric).
+    pub fn normalized_device_latencies(&self) -> Vec<(DeviceKind, f64)> {
+        let max = self
+            .devices
+            .iter()
+            .map(|d| d.mean_latency_us)
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        self.devices
+            .iter()
+            .map(|d| (d.kind, d.mean_latency_us / max))
+            .collect()
+    }
+}
+
+struct WorkloadState {
+    vmdk: Vmdk,
+    generator: IoGenerator,
+    ds: usize,
+    next: (SimTime, nvhsm_workload::GenRequest),
+    latency: OnlineStats,
+}
+
+struct MigrationRun {
+    active: ActiveMigration,
+    next_copy_at: SimTime,
+}
+
+struct Nic {
+    busy_until: SimTime,
+    bandwidth: u64,
+    latency: SimDuration,
+}
+
+impl Nic {
+    fn transfer(&mut self, bytes: u64, at: SimTime) -> SimTime {
+        let start = at.max(self.busy_until);
+        let dur = SimDuration::from_ns_f64(bytes as f64 * 1e9 / self.bandwidth as f64);
+        let done = start + dur + self.latency;
+        self.busy_until = start + dur;
+        done
+    }
+}
+
+/// The node/cluster simulation engine.
+pub struct NodeSim {
+    cfg: NodeConfig,
+    datastores: Vec<Datastore>,
+    manager: Manager,
+    workloads: Vec<WorkloadState>,
+    spec: Vec<SpecTraffic>,
+    nics: Vec<Nic>,
+    nodes: usize,
+    migrations: Vec<MigrationRun>,
+    /// No new decisions until this instant: epochs right after a migration
+    /// reflect the copy's own interference, not steady state.
+    decision_cooldown_until: SimTime,
+    now: SimTime,
+    next_epoch: SimTime,
+    next_util_update: SimTime,
+    rng: SimRng,
+    next_vmdk: u32,
+    // Accumulators.
+    migrations_started: u64,
+    migrations_completed: u64,
+    migration_busy: SimDuration,
+    migration_wall: SimDuration,
+    copied_blocks: u64,
+    mirrored_blocks: u64,
+    hit_ratio_series: Vec<(u64, f64)>,
+    nvdimm_latency_series: Vec<f64>,
+    bus_util_series: Vec<f64>,
+    migration_log: Vec<MigrationEvent>,
+    last_cache_counts: (u64, u64),
+    nvdimm_epoch_latency: OnlineStats,
+}
+
+impl NodeSim {
+    /// Builds a single-node simulation.
+    pub fn new(cfg: NodeConfig, seed: u64) -> Self {
+        Self::with_nodes(cfg, 1, seed)
+    }
+
+    /// Builds a simulation with `nodes` nodes, each carrying one NVDIMM,
+    /// one SSD and one HDD datastore.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn with_nodes(cfg: NodeConfig, nodes: usize, seed: u64) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        let mut rng = SimRng::new(seed);
+        let models = pretrain_models(cfg.train_requests, rng.next_u64());
+        let manager = Manager::new(cfg.policy, cfg.tau, models);
+
+        let tuning = if cfg.policy.arch_optimization() {
+            MigrationTuning::optimized()
+        } else {
+            MigrationTuning::baseline()
+        };
+        let mut datastores = Vec::new();
+        let mut nics = Vec::new();
+        for node in 0..nodes {
+            let nvdimm_cfg = cfg.nvdimm.clone().with_tuning(tuning);
+            datastores.push(Datastore::new(
+                DatastoreId(datastores.len()),
+                Box::new(NvdimmDevice::new(nvdimm_cfg)),
+                node,
+            ));
+            datastores.push(Datastore::new(
+                DatastoreId(datastores.len()),
+                Box::new(SsdDevice::new(cfg.ssd.clone())),
+                node,
+            ));
+            datastores.push(Datastore::new(
+                DatastoreId(datastores.len()),
+                Box::new(HddDevice::new(cfg.hdd.clone())),
+                node,
+            ));
+            nics.push(Nic {
+                busy_until: SimTime::ZERO,
+                bandwidth: cfg.nic_bandwidth,
+                latency: cfg.nic_latency,
+            });
+        }
+        let spec = cfg
+            .spec
+            .map(|p| {
+                (0..nodes)
+                    .map(|n| {
+                        // Stagger phases across nodes.
+                        let period = SimDuration::from_ms(2000 + 300 * n as u64);
+                        SpecTraffic::with_period(p, period)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        let epoch = cfg.epoch;
+        NodeSim {
+            cfg,
+            datastores,
+            manager,
+            workloads: Vec::new(),
+            spec,
+            nics,
+            nodes,
+            migrations: Vec::new(),
+            decision_cooldown_until: SimTime::ZERO,
+            now: SimTime::ZERO,
+            next_epoch: SimTime::ZERO + epoch,
+            next_util_update: SimTime::ZERO,
+            rng,
+            next_vmdk: 0,
+            migrations_started: 0,
+            migrations_completed: 0,
+            migration_busy: SimDuration::ZERO,
+            migration_wall: SimDuration::ZERO,
+            copied_blocks: 0,
+            mirrored_blocks: 0,
+            hit_ratio_series: Vec::new(),
+            nvdimm_latency_series: Vec::new(),
+            bus_util_series: Vec::new(),
+            migration_log: Vec::new(),
+            last_cache_counts: (0, 0),
+            nvdimm_epoch_latency: OnlineStats::new(),
+        }
+    }
+
+    /// The manager (τ adjustments, diagnostics).
+    pub fn manager_mut(&mut self) -> &mut Manager {
+        &mut self.manager
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The datastores (inspection).
+    pub fn datastores(&self) -> &[Datastore] {
+        &self.datastores
+    }
+
+    /// Adds a workload, placing its VMDK randomly among the datastores
+    /// with room (the paper's §6.2 initial arrangement: "randomly, but in
+    /// a greedy manner so as to keep a space-balanced arrangement" —
+    /// random across tiers, skipping full devices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no datastore can hold the VMDK.
+    pub fn add_workload(&mut self, profile: WorkloadProfile) -> VmdkId {
+        let blocks = profile.working_set_blocks;
+        let feasible: Vec<usize> = self
+            .datastores
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.largest_free_extent() >= blocks)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!feasible.is_empty(), "no datastore can hold the VMDK");
+        let ds = feasible[self.rng.below(feasible.len() as u64) as usize];
+        self.add_workload_on(profile, ds)
+    }
+
+    /// Adds a workload using the policy's initial-placement logic (Eq. 4
+    /// for the BCA family).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no datastore can hold the VMDK.
+    pub fn add_workload_placed(&mut self, profile: WorkloadProfile) -> VmdkId {
+        let info = ResidentInfo {
+            vmdk: VmdkId(u32::MAX),
+            size_blocks: profile.working_set_blocks,
+            features: profile_features(&profile, 1.0, 0.5),
+            io_count: 0,
+            mean_latency_us: 0.0,
+            live_blocks: (profile.iops
+                * profile.mean_size_blocks
+                * self.cfg.epoch.as_secs_f64()
+                * self.cfg.lookahead_epochs as f64) as u64,
+        };
+        let observations = self.observe(false);
+        let ds = self
+            .manager
+            .initial_placement(&observations, &info)
+            .map(|DatastoreId(i)| i)
+            .expect("no datastore can hold the VMDK");
+        self.add_workload_on(profile, ds)
+    }
+
+    /// Adds a workload on an explicit datastore.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the datastore cannot hold the VMDK.
+    pub fn add_workload_on(&mut self, profile: WorkloadProfile, ds: usize) -> VmdkId {
+        let id = VmdkId(self.next_vmdk);
+        self.next_vmdk += 1;
+        let vmdk = Vmdk::new(id, profile.clone());
+        self.datastores[ds]
+            .place(id, vmdk.size_blocks())
+            .expect("datastore cannot hold the VMDK");
+        let mut generator = IoGenerator::new(profile, self.rng.fork());
+        generator.fast_forward(self.now);
+        let next = generator.next_request();
+        self.workloads.push(WorkloadState {
+            vmdk,
+            generator,
+            ds,
+            next,
+            latency: OnlineStats::new(),
+        });
+        id
+    }
+
+    /// Where `vmdk` currently lives (destination while migrating).
+    pub fn placement_of(&self, vmdk: VmdkId) -> Option<usize> {
+        self.workloads
+            .iter()
+            .find(|w| w.vmdk.id() == vmdk)
+            .map(|w| w.ds)
+    }
+
+    /// Runs the simulation for `secs` of virtual time and reports.
+    pub fn run_secs(&mut self, secs: u64) -> NodeReport {
+        self.run(SimDuration::from_secs(secs))
+    }
+
+    /// Runs until the system goes quiet — no migration in flight and none
+    /// started during a whole probe chunk — or `max` elapses. Used to let
+    /// the initial placement drain before measurement, like the paper's
+    /// multi-hour warm-up.
+    pub fn run_until_quiet(&mut self, max: SimDuration) {
+        let deadline = self.now + max;
+        let chunk = SimDuration::from_ms(500);
+        let mut quiet_chunks = 0;
+        loop {
+            let started_before = self.migrations_started;
+            self.run(chunk);
+            if self.migrations.is_empty() && self.migrations_started == started_before {
+                quiet_chunks += 1;
+                // Cooldown pauses can masquerade as quiet for a chunk or
+                // two; require sustained silence.
+                if quiet_chunks >= 4 {
+                    return;
+                }
+            } else {
+                quiet_chunks = 0;
+            }
+            if self.now >= deadline {
+                return;
+            }
+        }
+    }
+
+    /// Number of migrations currently in flight.
+    pub fn active_migrations(&self) -> usize {
+        self.migrations.len()
+    }
+
+    /// Discards accumulated metrics (latency, migration counters, series)
+    /// while keeping all simulation state. Use after a warm-up period, the
+    /// way the paper excludes the initial-placement phase from its plots.
+    pub fn reset_metrics(&mut self) {
+        for ds in &mut self.datastores {
+            ds.device_mut().stats_mut().reset_lifetime();
+        }
+        for w in &mut self.workloads {
+            w.latency = OnlineStats::new();
+        }
+        self.migrations_started = 0;
+        self.migrations_completed = 0;
+        self.migration_busy = SimDuration::ZERO;
+        self.migration_wall = SimDuration::ZERO;
+        self.copied_blocks = 0;
+        self.mirrored_blocks = 0;
+        self.hit_ratio_series.clear();
+        self.nvdimm_latency_series.clear();
+        self.bus_util_series.clear();
+        self.migration_log.clear();
+        self.nvdimm_epoch_latency = OnlineStats::new();
+        for m in &mut self.migrations {
+            // In-flight migrations' clocks restart so their pre-reset
+            // portions are not charged to the measured window.
+            m.active.started = self.now;
+        }
+    }
+
+    /// Runs the simulation for `span` of virtual time and reports.
+    pub fn run(&mut self, span: SimDuration) -> NodeReport {
+        let until = self.now + span;
+        loop {
+            // Next event: workload request, epoch boundary, migration copy
+            // round, or utilization update.
+            let mut t = self.next_epoch.min(self.next_util_update);
+            for m in &self.migrations {
+                if m.active.copy_enabled {
+                    t = t.min(m.next_copy_at);
+                }
+            }
+            let next_w = self
+                .workloads
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.next.0)
+                .map(|(i, w)| (i, w.next.0));
+            if let Some((_, wt)) = next_w {
+                t = t.min(wt);
+            }
+            if t >= until {
+                break;
+            }
+            self.now = t;
+
+            if t == self.next_util_update {
+                self.update_bus_utilization();
+                self.next_util_update = t + self.cfg.epoch / 4;
+                continue;
+            }
+            if t == self.next_epoch {
+                self.run_epoch();
+                self.next_epoch = t + self.cfg.epoch;
+                continue;
+            }
+            if let Some(mi) = self
+                .migrations
+                .iter()
+                .position(|m| m.active.copy_enabled && m.next_copy_at == t)
+            {
+                self.copy_round(mi);
+                continue;
+            }
+            if let Some((wi, wt)) = next_w {
+                if wt == t {
+                    self.serve_workload(wi);
+                    continue;
+                }
+            }
+            unreachable!("event time matched nothing");
+        }
+        self.now = until;
+        self.finish_report(until)
+    }
+
+    fn update_bus_utilization(&mut self) {
+        if self.spec.is_empty() {
+            return;
+        }
+        for ds in &mut self.datastores {
+            if ds.device().kind() == DeviceKind::Nvdimm {
+                let u = self.spec[ds.node()].utilization_at(self.now);
+                ds.device_mut().set_ambient_bus_utilization(u);
+            }
+        }
+    }
+
+    fn serve_workload(&mut self, wi: usize) {
+        let (arrival, gen) = self.workloads[wi].next;
+        let vmdk = self.workloads[wi].vmdk.id();
+        let op = match gen.op {
+            GenOp::Read => IoOp::Read,
+            GenOp::Write => IoOp::Write,
+        };
+
+        // Route: during a mirror/lazy migration of this VMDK, writes go to
+        // the destination and reads follow the bitmap.
+        let mut target_ds = self.workloads[wi].ds;
+        if let Some(m) = self
+            .migrations
+            .iter_mut()
+            .find(|m| m.active.vmdk == vmdk)
+        {
+            if m.active.mode != MigrationMode::FullCopy {
+                match op {
+                    IoOp::Write => {
+                        target_ds = m.active.dst.0;
+                        for b in gen.offset..gen.offset + gen.size_blocks as u64 {
+                            if b < m.active.bitmap.len() {
+                                m.active.record_mirrored_write(b);
+                            }
+                        }
+                    }
+                    IoOp::Read => {
+                        let at_dst = gen.offset < m.active.bitmap.len()
+                            && m.active.bitmap.get(gen.offset);
+                        target_ds = if at_dst {
+                            m.active.dst.0
+                        } else {
+                            m.active.src.0
+                        };
+                    }
+                }
+            }
+        }
+        let Some(block) = self.datastores[target_ds].translate(vmdk, gen.offset) else {
+            // Should not happen; drop the request defensively.
+            let next = self.workloads[wi].generator.next_request();
+            self.workloads[wi].next = next;
+            return;
+        };
+        let req = IoRequest::normal(vmdk.0, block, gen.size_blocks, op, arrival);
+        let completion = self.datastores[target_ds].device_mut().submit(&req);
+        self.workloads[wi]
+            .latency
+            .add(completion.latency.as_us_f64());
+        if self.datastores[target_ds].device().kind() == DeviceKind::Nvdimm {
+            self.nvdimm_epoch_latency.add(completion.latency.as_us_f64());
+        }
+        if completion.latency > self.cfg.backpressure {
+            self.workloads[wi].generator.fast_forward(completion.done);
+        }
+        let next = self.workloads[wi].generator.next_request();
+        self.workloads[wi].next = next;
+
+        // Mirror-mode migrations whose bitmaps filled up purely by writes
+        // complete here.
+        while let Some(mi) = self.migrations.iter().position(|m| m.active.complete()) {
+            self.finish_migration(mi);
+        }
+    }
+
+    fn copy_round(&mut self, mi: usize) {
+        let m = &mut self.migrations[mi];
+        let src = m.active.src.0;
+        let dst = m.active.dst.0;
+        let vmdk = m.active.vmdk;
+        let stream = 1_000_000 + vmdk.0;
+        let mut batch = Vec::with_capacity(self.cfg.migration_batch as usize);
+        for _ in 0..self.cfg.migration_batch {
+            match m.active.next_copy_block() {
+                Some(b) => batch.push(b),
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            self.finish_migration(mi);
+            return;
+        }
+        let cross_node = self.datastores[src].node() != self.datastores[dst].node();
+        let src_node = self.datastores[src].node();
+        let mut round_done = self.now;
+        for offset in batch {
+            let Some(src_block) = self.datastores[src].translate(vmdk, offset) else {
+                continue;
+            };
+            let read = IoRequest::migrated(stream, src_block, 1, IoOp::Read, self.now);
+            let r = self.datastores[src].device_mut().submit(&read);
+            let mut write_at = r.done;
+            if cross_node {
+                write_at = self.nics[src_node].transfer(4096, r.done);
+            }
+            let Some(dst_block) = self.datastores[dst].translate(vmdk, offset) else {
+                continue;
+            };
+            let write = IoRequest::migrated(stream, dst_block, 1, IoOp::Write, write_at);
+            let w = self.datastores[dst].device_mut().submit(&write);
+            round_done = round_done.max(w.done);
+            self.migrations[mi].active.record_copied(offset);
+            self.copied_blocks += 1;
+        }
+        self.migration_busy += round_done.saturating_since(self.now);
+        if self.migrations[mi].active.complete() {
+            self.finish_migration(mi);
+        } else {
+            let m = &mut self.migrations[mi];
+            let round = round_done.saturating_since(self.now);
+            m.next_copy_at = match m.active.mode {
+                // Mirror mode (LightSRM) trickles the background copy at a
+                // 25% duty cycle — redirection already serves the hot data,
+                // so the disk moves leisurely.
+                MigrationMode::Mirror => round_done + round * 3,
+                _ => round_done.max(self.now + SimDuration::from_us(100)),
+            };
+        }
+    }
+
+    fn finish_migration(&mut self, mi: usize) {
+        let m = self.migrations.remove(mi);
+        // Let the system re-equilibrate before judging balance again.
+        self.decision_cooldown_until = self.now + self.cfg.epoch * 3;
+        let vmdk = m.active.vmdk;
+        let src = m.active.src.0;
+        let dst = m.active.dst.0;
+        self.migration_wall += self.now.saturating_since(m.active.started);
+        self.migrations_completed += 1;
+        self.mirrored_blocks += m.active.mirrored_blocks;
+        if self.datastores[src].hosts(vmdk) {
+            self.datastores[src].remove(vmdk);
+        }
+        for w in &mut self.workloads {
+            if w.vmdk.id() == vmdk {
+                w.ds = dst;
+            }
+        }
+    }
+
+    fn start_migration(&mut self, decision: MigrationDecision) {
+        if self.migrations.iter().any(|m| m.active.vmdk == decision.vmdk) {
+            return; // already on the move
+        }
+        if std::env::var_os("NVHSM_TRACE").is_some() {
+            eprintln!(
+                "[{:.2}s] {} migrate {} {} -> {} ({:?})",
+                self.now.as_secs_f64(),
+                self.cfg.policy,
+                decision.vmdk,
+                self.datastores[decision.src.0].device().kind(),
+                self.datastores[decision.dst.0].device().kind(),
+                decision.mode,
+            );
+        }
+        let dst = decision.dst.0;
+        let Some(w) = self
+            .workloads
+            .iter()
+            .find(|w| w.vmdk.id() == decision.vmdk)
+        else {
+            return;
+        };
+        let blocks = w.vmdk.size_blocks();
+        if self.datastores[dst].place(decision.vmdk, blocks).is_none() {
+            return;
+        }
+        self.migrations_started += 1;
+        self.migration_log.push(MigrationEvent {
+            started: self.now,
+            vmdk: decision.vmdk,
+            src: decision.src.0,
+            dst,
+            mode: decision.mode,
+        });
+        let mut active = ActiveMigration::new(
+            decision.vmdk,
+            decision.src,
+            decision.dst,
+            decision.mode,
+            blocks,
+            self.now,
+        );
+        if decision.mode == MigrationMode::FullCopy {
+            active.copy_enabled = true;
+        }
+        self.migrations.push(MigrationRun {
+            active,
+            next_copy_at: self.now,
+        });
+    }
+
+    /// Builds per-datastore observations. `roll` closes the devices'
+    /// epoch counters (the manager path); `false` peeks with empty epochs
+    /// (initial placement before any traffic).
+    fn observe(&mut self, roll: bool) -> Vec<DeviceObservation> {
+        let epoch_secs = self.cfg.epoch.as_secs_f64();
+        let lookahead = self.cfg.lookahead_epochs as f64 * epoch_secs;
+        let mut out = Vec::with_capacity(self.datastores.len());
+        for (i, ds) in self.datastores.iter_mut().enumerate() {
+            let epoch = if roll {
+                ds.device_mut().stats_mut().take_epoch(self.now)
+            } else {
+                nvhsm_device::DeviceStats::new().take_epoch(self.now)
+            };
+            let free_space = ds.device().free_space_ratio();
+            let kind = ds.device().kind();
+            let baseline_us = self.manager.models().baseline_us(kind);
+            let mut residents = Vec::new();
+            for w in &self.workloads {
+                if w.ds != i {
+                    continue;
+                }
+                let (count, mean) = epoch
+                    .per_stream_latency_us
+                    .get(&w.vmdk.id().0)
+                    .map(|s| (s.count(), s.mean()))
+                    .unwrap_or((0, 0.0));
+                // Issue concurrency, not Little's law on the measured
+                // latency — the latter would leak bus contention into the
+                // OIO feature and poison the contention-free prediction.
+                let rate = count as f64 / epoch_secs.max(1e-9);
+                let oio = rate * baseline_us * 1e-6;
+                let profile = w.vmdk.profile();
+                residents.push(ResidentInfo {
+                    vmdk: w.vmdk.id(),
+                    size_blocks: w.vmdk.size_blocks(),
+                    features: profile_features(profile, oio.max(0.01), free_space),
+                    io_count: count,
+                    mean_latency_us: mean,
+                    live_blocks: (profile.iops * profile.mean_size_blocks * lookahead) as u64,
+                });
+            }
+            out.push(DeviceObservation {
+                ds: ds.id(),
+                kind: ds.device().kind(),
+                epoch,
+                free_space,
+                free_capacity_blocks: ds.largest_free_extent(),
+                residents,
+            });
+        }
+        out
+    }
+
+    fn run_epoch(&mut self) {
+        let observations = self.observe(true);
+
+        // Fig. 15 bookkeeping: NVDIMM cache hit ratio this epoch.
+        let (mut hits, mut misses, mut nv_reqs) = (0u64, 0u64, 0u64);
+        for ds in &self.datastores {
+            if ds.device().kind() != DeviceKind::Nvdimm {
+                continue;
+            }
+            // Downcast via the known construction order: NVDIMMs are the
+            // node-local index 0 devices; use the trait-level stats for
+            // request counts and the device for cache counters.
+            nv_reqs += ds.device().stats().lifetime_requests();
+        }
+        if let Some(nv) = self.nvdimm_device(0) {
+            hits = nv.cache().hits();
+            misses = nv.cache().misses();
+        }
+        let (lh, lm) = self.last_cache_counts;
+        let (dh, dm) = (hits.saturating_sub(lh), misses.saturating_sub(lm));
+        self.last_cache_counts = (hits, misses);
+        if dh + dm > 0 {
+            self.hit_ratio_series
+                .push((nv_reqs, dh as f64 / (dh + dm) as f64));
+        }
+        self.nvdimm_latency_series
+            .push(self.nvdimm_epoch_latency.mean());
+        self.nvdimm_epoch_latency = OnlineStats::new();
+        self.bus_util_series.push(
+            self.spec
+                .first()
+                .map(|s| s.utilization_at(self.now))
+                .unwrap_or(0.0),
+        );
+
+        // Lazy migrations: re-evaluate the copy gate (§5.2). Copy when the
+        // source is calm (cost is low), when little remains, or when the
+        // migration has been pending long enough that finishing it is worth
+        // more than waiting (bounded laziness).
+        for m in &mut self.migrations {
+            if m.active.mode == MigrationMode::Lazy {
+                let src_obs = &observations[m.active.src.0];
+                let src_kind = src_obs.kind;
+                let baseline = self.manager.models().baseline_us(src_kind);
+                let calm = src_obs.epoch.io_count() < 10
+                    || src_obs.epoch.mean_latency_us() < 3.0 * baseline;
+                let almost_done = m.active.remaining_blocks() < 1024;
+                let overdue =
+                    self.now.saturating_since(m.active.started) > self.cfg.epoch * 10;
+                let was = m.active.copy_enabled;
+                m.active.copy_enabled = calm || almost_done || overdue;
+                if m.active.copy_enabled && !was {
+                    m.next_copy_at = self.now;
+                }
+            }
+        }
+
+        // One migration in flight per node, plus a cooldown after each
+        // completion: epochs polluted by a copy's own interference never
+        // reach the detector, which keeps a migration from triggering its
+        // own counter-move.
+        let busy =
+            self.migrations.len() >= self.nodes || self.now < self.decision_cooldown_until;
+        let decision = self.manager.epoch_decision(&observations, busy);
+        if std::env::var_os("NVHSM_TRACE").is_some() {
+            let diag = self.manager.last_diagnostics();
+            if diag.triggered && diag.vetoed {
+                eprintln!(
+                    "[{:.2}s] vetoed: perfs {:?}",
+                    self.now.as_secs_f64(),
+                    diag.normalized_perf
+                        .iter()
+                        .map(|(ds, p)| format!("{ds}={p:.0}"))
+                        .collect::<Vec<_>>()
+                );
+            }
+        }
+        if let Some(d) = decision {
+            if std::env::var_os("NVHSM_TRACE").is_some() {
+                eprintln!(
+                    "[{:.2}s] perfs {:?}",
+                    self.now.as_secs_f64(),
+                    self.manager
+                        .last_diagnostics()
+                        .normalized_perf
+                        .iter()
+                        .map(|(ds, p)| format!("{ds}={p:.0}"))
+                        .collect::<Vec<_>>()
+                );
+            }
+            self.start_migration(d);
+        }
+    }
+
+    fn nvdimm_device(&self, node: usize) -> Option<&NvdimmDevice> {
+        // NVDIMMs are created first per node: datastore index = node * 3.
+        let ds = self.datastores.get(node * 3)?;
+        ds.device().as_any().downcast_ref::<NvdimmDevice>()
+    }
+
+    fn finish_report(&mut self, until: SimTime) -> NodeReport {
+        let mut devices = Vec::new();
+        let mut io_count = 0;
+        for ds in &self.datastores {
+            let stats = ds.device().stats();
+            devices.push(DeviceReport {
+                kind: ds.device().kind(),
+                node: ds.node(),
+                io_count: stats.lifetime_requests(),
+                mean_latency_us: stats.lifetime_mean_latency_us(),
+            });
+            io_count += stats.lifetime_requests();
+        }
+        let mut latency = OnlineStats::new();
+        for w in &self.workloads {
+            latency.merge(&w.latency);
+        }
+        let mut migration_wall = self.migration_wall;
+        for m in &self.migrations {
+            migration_wall += until.saturating_since(m.active.started);
+        }
+        NodeReport {
+            policy: self.cfg.policy.to_string(),
+            io_count,
+            mean_latency_us: latency.mean(),
+            devices,
+            migrations_started: self.migrations_started,
+            migrations_completed: self.migrations_completed,
+            migration_time: self.migration_busy,
+            migration_wall_time: migration_wall,
+            copied_blocks: self.copied_blocks,
+            mirrored_blocks: self.mirrored_blocks
+                + self
+                    .migrations
+                    .iter()
+                    .map(|m| m.active.mirrored_blocks)
+                    .sum::<u64>(),
+            nvdimm_hit_ratio: self.hit_ratio_series.clone(),
+            nvdimm_latency_series: self.nvdimm_latency_series.clone(),
+            bus_utilization_series: self.bus_util_series.clone(),
+            migration_log: self.migration_log.clone(),
+        }
+    }
+}
+
+/// Builds the Eq. 2 feature vector of a workload from its profile plus the
+/// measured OIO and the device's free space.
+fn profile_features(profile: &WorkloadProfile, oio: f64, free_space: f64) -> Features {
+    Features {
+        wr_ratio: profile.wr_ratio,
+        oios: oio,
+        ios: profile.mean_size_blocks,
+        wr_rand: profile.wr_rand,
+        rd_rand: profile.rd_rand,
+        free_space_ratio: free_space,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvhsm_workload::hibench::{profile, Benchmark};
+
+    fn quick_cfg(policy: PolicyKind) -> NodeConfig {
+        let mut cfg = NodeConfig::small();
+        cfg.policy = policy;
+        cfg.train_requests = 30;
+        cfg
+    }
+
+    #[test]
+    fn basic_run_serves_io() {
+        let mut sim = NodeSim::new(quick_cfg(PolicyKind::Bca), 1);
+        // Scaled-down working sets so even an HDD placement keeps serving.
+        sim.add_workload(profile(Benchmark::Sort).with_working_set(8_000));
+        sim.add_workload(profile(Benchmark::Bayes).with_working_set(6_000));
+        let report = sim.run_secs(2);
+        assert!(report.io_count > 500, "io_count {}", report.io_count);
+        assert!(report.mean_latency_us > 0.0);
+        assert_eq!(report.devices.len(), 3);
+    }
+
+    #[test]
+    fn space_greedy_placement_spreads_vmdks() {
+        let mut sim = NodeSim::new(quick_cfg(PolicyKind::Basil), 2);
+        let a = sim.add_workload(profile(Benchmark::Sort));
+        let b = sim.add_workload(profile(Benchmark::Wordcount));
+        let c = sim.add_workload(profile(Benchmark::DfsioeR));
+        let placements: Vec<usize> = [a, b, c]
+            .iter()
+            .map(|&v| sim.placement_of(v).unwrap())
+            .collect();
+        // Not all on one datastore.
+        assert!(placements.windows(2).any(|w| w[0] != w[1]), "{placements:?}");
+    }
+
+    #[test]
+    fn eq4_placement_lands_somewhere_valid() {
+        let mut sim = NodeSim::new(quick_cfg(PolicyKind::Bca), 3);
+        let v = sim.add_workload_placed(profile(Benchmark::Pagerank));
+        assert!(sim.placement_of(v).is_some());
+    }
+
+    #[test]
+    fn migration_log_records_moves() {
+        let mut cfg = quick_cfg(PolicyKind::Basil);
+        cfg.tau = 0.3;
+        let mut sim = NodeSim::new(cfg, 5);
+        sim.add_workload_on(
+            profile(Benchmark::Pagerank).with_working_set(20_000),
+            2,
+        );
+        let report = sim.run_secs(4);
+        assert_eq!(report.migration_log.len() as u64, report.migrations_started);
+        for e in &report.migration_log {
+            assert_ne!(e.src, e.dst);
+        }
+    }
+
+    #[test]
+    fn migration_happens_under_pressure() {
+        // Overload the HDD with a random workload; the manager should move
+        // it off.
+        let mut cfg = quick_cfg(PolicyKind::Basil);
+        cfg.tau = 0.3;
+        let mut sim = NodeSim::new(cfg, 5);
+        let hdd_ds = 2;
+        let v = sim.add_workload_on(
+            profile(Benchmark::Pagerank).with_working_set(20_000),
+            hdd_ds,
+        );
+        let report = sim.run_secs(4);
+        assert!(
+            report.migrations_started >= 1,
+            "no migration started: {report:?}"
+        );
+        let _ = v;
+    }
+
+    #[test]
+    fn multi_node_runs() {
+        let mut sim = NodeSim::with_nodes(quick_cfg(PolicyKind::Pesto), 3, 9);
+        for b in [Benchmark::Sort, Benchmark::Bayes, Benchmark::Kmeans] {
+            sim.add_workload(profile(b));
+        }
+        let report = sim.run_secs(1);
+        assert_eq!(report.devices.len(), 9);
+        assert!(report.io_count > 0);
+    }
+
+    #[test]
+    fn spec_traffic_inflates_nvdimm_latency() {
+        let run = |spec: Option<SpecProgram>| -> f64 {
+            let mut cfg = quick_cfg(PolicyKind::Basil);
+            cfg.tau = 1.0; // effectively disable migration
+            cfg.spec = spec;
+            let mut sim = NodeSim::new(cfg, 11);
+            sim.add_workload_on(profile(Benchmark::Bayes), 0); // on the NVDIMM
+            let report = sim.run_secs(2);
+            report.devices[0].mean_latency_us
+        };
+        let quiet = run(None);
+        let noisy = run(Some(SpecProgram::Mcf429));
+        assert!(
+            noisy > quiet * 1.1,
+            "contention had no effect: {noisy} vs {quiet}"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! The management policies under evaluation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A storage-management policy (the paper's baselines §2.2 and its own
+/// schemes §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// BASIL (Gulati et al., FAST'10): online device model + load
+    /// balancing, *no* cost/benefit analysis; uses measured latency
+    /// (contention included) for every device.
+    Basil,
+    /// Pesto (Gulati et al., SOCC'11): adds cost/benefit analysis on top of
+    /// an OIO-slope device model; still measured-latency based.
+    Pesto,
+    /// LightSRM (Zhou et al., ICS'15): Pesto-style decisions but migrations
+    /// use I/O mirroring to avoid bulk copies.
+    LightSrm,
+    /// §5.1: Bus Contention Aware management — imbalance detection on
+    /// *predicted* NVDIMM performance (Eq. 5), cost/benefit with bus
+    /// contention terms (Eq. 6), full-copy migrations.
+    Bca,
+    /// §5.1 + §5.2: BCA with lazy migration (I/O mirroring, bitmap,
+    /// cost/benefit-gated background copy).
+    BcaLazy,
+    /// §5.1 + §5.2 + §5.3: everything, including the destination scheduling
+    /// policies and source cache bypassing.
+    BcaLazyArch,
+}
+
+impl PolicyKind {
+    /// All policies, baselines first.
+    pub const ALL: [PolicyKind; 6] = [
+        PolicyKind::Basil,
+        PolicyKind::Pesto,
+        PolicyKind::LightSrm,
+        PolicyKind::Bca,
+        PolicyKind::BcaLazy,
+        PolicyKind::BcaLazyArch,
+    ];
+
+    /// Whether NVDIMM performance is estimated by the §4 model (BCA
+    /// family) rather than taken from contention-polluted measurements.
+    pub fn uses_prediction(&self) -> bool {
+        matches!(
+            self,
+            PolicyKind::Bca | PolicyKind::BcaLazy | PolicyKind::BcaLazyArch
+        )
+    }
+
+    /// Whether migrations are gated by cost/benefit analysis.
+    pub fn cost_benefit(&self) -> bool {
+        !matches!(self, PolicyKind::Basil)
+    }
+
+    /// Whether migrations use I/O mirroring instead of an eager full copy.
+    pub fn mirroring(&self) -> bool {
+        matches!(
+            self,
+            PolicyKind::LightSrm | PolicyKind::BcaLazy | PolicyKind::BcaLazyArch
+        )
+    }
+
+    /// Whether the background copy is itself cost/benefit gated (§5.2 lazy
+    /// migration).
+    pub fn lazy_copy(&self) -> bool {
+        matches!(self, PolicyKind::BcaLazy | PolicyKind::BcaLazyArch)
+    }
+
+    /// Whether the §5.3 architectural optimizations (cache bypass +
+    /// migration-aware scheduling) are switched on in the NVDIMMs.
+    pub fn arch_optimization(&self) -> bool {
+        matches!(self, PolicyKind::BcaLazyArch)
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PolicyKind::Basil => "BASIL",
+            PolicyKind::Pesto => "Pesto",
+            PolicyKind::LightSrm => "LightSRM",
+            PolicyKind::Bca => "BCA",
+            PolicyKind::BcaLazy => "BCA+Lazy",
+            PolicyKind::BcaLazyArch => "BCA+Lazy+Arch",
+        };
+        // `pad` honours width/alignment flags (`{:<16}` etc.).
+        f.pad(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_matrix() {
+        use PolicyKind::*;
+        assert!(!Basil.cost_benefit());
+        assert!(Pesto.cost_benefit() && !Pesto.uses_prediction());
+        assert!(LightSrm.mirroring() && !LightSrm.lazy_copy());
+        assert!(Bca.uses_prediction() && !Bca.mirroring());
+        assert!(BcaLazy.lazy_copy() && !BcaLazy.arch_optimization());
+        assert!(BcaLazyArch.arch_optimization());
+    }
+
+    #[test]
+    fn displays_paper_names() {
+        assert_eq!(PolicyKind::Basil.to_string(), "BASIL");
+        assert_eq!(PolicyKind::BcaLazyArch.to_string(), "BCA+Lazy+Arch");
+        assert_eq!(PolicyKind::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,74 @@
+//! Virtual machine disks.
+
+use nvhsm_workload::WorkloadProfile;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a VMDK (doubles as the I/O stream id at the device layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VmdkId(pub u32);
+
+impl fmt::Display for VmdkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vmdk{}", self.0)
+    }
+}
+
+/// A virtual machine disk: a block image plus the workload that drives it.
+///
+/// # Examples
+///
+/// ```
+/// use nvhsm_core::{Vmdk, VmdkId};
+/// use nvhsm_workload::WorkloadProfile;
+///
+/// let v = Vmdk::new(VmdkId(0), WorkloadProfile::default());
+/// assert_eq!(v.size_blocks(), v.profile().working_set_blocks);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vmdk {
+    id: VmdkId,
+    profile: WorkloadProfile,
+}
+
+impl Vmdk {
+    /// Creates a VMDK sized to its workload's working set.
+    pub fn new(id: VmdkId, profile: WorkloadProfile) -> Self {
+        Vmdk { id, profile }
+    }
+
+    /// The identifier.
+    pub fn id(&self) -> VmdkId {
+        self.id
+    }
+
+    /// The driving workload profile.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Image size in 4 KiB blocks.
+    pub fn size_blocks(&self) -> u64 {
+        self.profile.working_set_blocks
+    }
+
+    /// Image size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_blocks() * 4096
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_follow_profile() {
+        let p = WorkloadProfile::default().with_working_set(1000);
+        let v = Vmdk::new(VmdkId(3), p);
+        assert_eq!(v.size_blocks(), 1000);
+        assert_eq!(v.size_bytes(), 1000 * 4096);
+        assert_eq!(v.id(), VmdkId(3));
+        assert_eq!(v.id().to_string(), "vmdk3");
+    }
+}

@@ -1,0 +1,42 @@
+//! `diag` — per-policy diagnostic dump for the standard mix: device
+//! breakdowns, migration counters, cache hit-ratio and latency series.
+//! Set `NVHSM_TRACE=1` to additionally trace every migration decision.
+use nvhsm_experiments::harness::Scale;
+use nvhsm_experiments::mix::{run_mix, MixParams};
+use nvhsm_core::PolicyKind;
+
+
+fn main() {
+    for policy in [
+        PolicyKind::Basil,
+        PolicyKind::Pesto,
+        PolicyKind::LightSrm,
+        PolicyKind::Bca,
+        PolicyKind::BcaLazy,
+        PolicyKind::BcaLazyArch,
+    ] {
+        let r = run_mix(MixParams::standard(policy), Scale::Quick);
+        println!("== {policy} ==");
+        println!(
+            "  mean_lat {:.0}us io {} migs {}/{} busy {:.2}s wall {:.2}s copied {} mirrored {}",
+            r.mean_latency_us,
+            r.io_count,
+            r.migrations_completed,
+            r.migrations_started,
+            r.migration_time.as_secs_f64(),
+            r.migration_wall_time.as_secs_f64(),
+            r.copied_blocks,
+            r.mirrored_blocks
+        );
+        for d in &r.devices {
+            println!(
+                "    {} node{} io {} mean {:.0}us",
+                d.kind, d.node, d.io_count, d.mean_latency_us
+            );
+        }
+        println!("    nvdimm hit ratio series tail: {:?}",
+            r.nvdimm_hit_ratio.iter().rev().take(3).map(|x| (x.1 * 100.0) as i64).collect::<Vec<_>>());
+        println!("    nvdimm epoch latency tail: {:?}",
+            r.nvdimm_latency_series.iter().rev().take(8).map(|x| *x as i64).collect::<Vec<_>>());
+    }
+}

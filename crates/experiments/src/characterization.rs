@@ -1,0 +1,117 @@
+//! Workload characterization — the measured Eq. 2 feature vectors of the
+//! eight big-data profiles, validating that the generators realize the
+//! Table 5-derived mixes they claim (and span the feature space the model
+//! needs for training, §4.2's "representative" requirement).
+
+use crate::harness::{ExperimentResult, Row, Scale};
+use nvhsm_sim::SimRng;
+use nvhsm_workload::hibench::{profile, Benchmark};
+use nvhsm_workload::{GenOp, IoGenerator};
+
+/// Measures one benchmark's realized characteristics over `n` requests.
+fn characterize(benchmark: Benchmark, n: usize) -> [f64; 5] {
+    let mut g = IoGenerator::new(profile(benchmark), SimRng::new(7));
+    let mut writes = 0u64;
+    let mut seq_reads = 0u64;
+    let mut reads = 0u64;
+    let mut seq_writes = 0u64;
+    let mut blocks = 0u64;
+    let mut read_cursor = u64::MAX;
+    let mut write_cursor = u64::MAX;
+    let mut last_t = 0.0;
+    for _ in 0..n {
+        let (t, req) = g.next_request();
+        last_t = t.as_secs_f64();
+        blocks += req.size_blocks as u64;
+        match req.op {
+            GenOp::Write => {
+                writes += 1;
+                if req.offset == write_cursor {
+                    seq_writes += 1;
+                }
+                write_cursor = req.offset + req.size_blocks as u64;
+            }
+            GenOp::Read => {
+                reads += 1;
+                if req.offset == read_cursor {
+                    seq_reads += 1;
+                }
+                read_cursor = req.offset + req.size_blocks as u64;
+            }
+        }
+    }
+    [
+        writes as f64 / n as f64,                              // wr_ratio
+        1.0 - seq_reads as f64 / reads.max(1) as f64,          // rd_rand
+        1.0 - seq_writes as f64 / writes.max(1) as f64,        // wr_rand
+        blocks as f64 / n as f64,                              // mean IOS
+        n as f64 / last_t.max(1e-9),                           // IOPS
+    ]
+}
+
+/// Characterizes all eight profiles.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let n = 20_000 * scale.factor().min(2);
+    let mut result = ExperimentResult::new(
+        "characterization",
+        "Realized workload characteristics of the eight profiles (Table 5)",
+        vec![
+            "wr_ratio".into(),
+            "rd_rand".into(),
+            "wr_rand".into(),
+            "ios_blk".into(),
+            "iops".into(),
+        ],
+    );
+    for &b in &Benchmark::ALL {
+        result.push_row(Row::new(b.name(), characterize(b, n).to_vec()));
+    }
+    let spread = |col: usize| -> f64 {
+        let vals: Vec<f64> = result.rows.iter().map(|r| r.values[col]).collect();
+        vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - vals.iter().cloned().fold(f64::INFINITY, f64::min)
+    };
+    result.note(format!(
+        "feature spreads across the suite: wr_ratio {:.2}, rd_rand {:.2} — the profiles span \
+         the Eq. 2 space as §4.2's training-representativeness argument requires",
+        spread(0),
+        spread(1)
+    ));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn realized_mixes_match_declared_profiles() {
+        let r = run(Scale::Quick);
+        for &b in &Benchmark::ALL {
+            let declared = profile(b);
+            let wr = r.value(b.name(), 0).unwrap();
+            assert!(
+                (wr - declared.wr_ratio).abs() < 0.03,
+                "{}: realized wr_ratio {wr} vs declared {}",
+                b.name(),
+                declared.wr_ratio
+            );
+            let ios = r.value(b.name(), 3).unwrap();
+            assert!(
+                (ios - declared.mean_size_blocks).abs() / declared.mean_size_blocks < 0.1,
+                "{}: realized IOS {ios} vs declared {}",
+                b.name(),
+                declared.mean_size_blocks
+            );
+        }
+    }
+
+    #[test]
+    fn suite_spans_the_feature_space() {
+        let r = run(Scale::Quick);
+        let wr: Vec<f64> = r.rows.iter().map(|x| x.values[0]).collect();
+        let max = wr.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = wr.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max - min > 0.5, "write ratios too uniform: {wr:?}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Fig. 13 — total migration time: bus-contention-aware management (with
+//! and without lazy migration) vs the baselines, single and multiple
+//! nodes, normalized to BASIL.
+
+use crate::harness::{ExperimentResult, Row, Scale};
+use crate::mix::{run_mix_avg, seeds_for, MixParams};
+use nvhsm_core::PolicyKind;
+
+const POLICIES: [PolicyKind; 5] = [
+    PolicyKind::Basil,
+    PolicyKind::Pesto,
+    PolicyKind::LightSrm,
+    PolicyKind::Bca,
+    PolicyKind::BcaLazy,
+];
+
+/// Runs the five policies on single and multi-node setups.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "fig13",
+        "Total migration time, normalized to BASIL (Fig. 13)",
+        POLICIES.iter().map(|p| p.to_string()).collect(),
+    );
+    let seeds = seeds_for(scale);
+    for (env, nodes) in [("single", 1usize), ("multi", 3)] {
+        let mut times = Vec::new();
+        let mut raw = Vec::new();
+        for policy in POLICIES {
+            let mut params = MixParams::with_arrivals(policy);
+            params.nodes = nodes;
+            let summary = run_mix_avg(params, scale, &seeds);
+            raw.push(summary.migration_busy_s);
+        }
+        let basil = raw[0].max(1e-9);
+        for t in &raw {
+            times.push(t / basil);
+        }
+        result.push_row(Row::new(format!("{env}_norm_time"), times));
+        result.push_row(Row::new(format!("{env}_raw_secs"), raw));
+    }
+    result.note(
+        "paper: single node, BCA reduces migration overhead by 44%/33%/24% vs \
+         BASIL/Pesto/LightSRM; lazy migration reduces a further ~27%"
+            .to_owned(),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bca_migrates_less_than_basil_and_lazy_less_still() {
+        let r = run(Scale::Quick);
+        let row = r
+            .rows
+            .iter()
+            .find(|x| x.label == "single_norm_time")
+            .unwrap();
+        let (basil, bca, lazy) = (row.values[0], row.values[3], row.values[4]);
+        assert!((basil - 1.0).abs() < 1e-9);
+        assert!(bca < 1.0, "BCA migration time {bca} !< BASIL 1.0");
+        assert!(
+            lazy <= bca * 1.05,
+            "lazy ({lazy}) should not exceed BCA ({bca})"
+        );
+    }
+}

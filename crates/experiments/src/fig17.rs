@@ -1,0 +1,75 @@
+//! Fig. 17 — putting it all together: BCA + lazy migration + architectural
+//! optimization vs BASIL, as workload speedup.
+
+use crate::harness::{ExperimentResult, Row, Scale};
+use crate::mix::{run_mix_avg, seeds_for, MixParams};
+use nvhsm_core::PolicyKind;
+
+const POLICIES: [PolicyKind; 4] = [
+    PolicyKind::Basil,
+    PolicyKind::Bca,
+    PolicyKind::BcaLazy,
+    PolicyKind::BcaLazyArch,
+];
+
+/// Runs the ladder of schemes under the mcf mix.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "fig17",
+        "All techniques combined: speedup over BASIL (Fig. 17)",
+        vec!["speedup".into(), "mean_lat_us".into(), "mig_time_s".into()],
+    );
+    let seeds = seeds_for(scale);
+    let mut lats = Vec::new();
+    for policy in POLICIES {
+        // The paper's "putting it all together" runs the same standard mix
+        // as Fig. 12; the steady scenario is where the contention-driven
+        // differences accumulate.
+        let summary = run_mix_avg(MixParams::standard(policy), scale, &seeds);
+        lats.push((policy, summary.mean_latency_us, summary.migration_busy_s));
+    }
+    let basil = lats[0].1.max(1e-9);
+    for (policy, lat, mig) in &lats {
+        result.push_row(Row::new(
+            policy.to_string(),
+            vec![basil / lat.max(1e-9), *lat, *mig],
+        ));
+    }
+    let full = basil / lats[3].1.max(1e-9);
+    let bca_only = basil / lats[1].1.max(1e-9);
+    result.note(format!(
+        "full stack speedup over BASIL: {:.0}% (paper: up to 98%, avg ~87%)",
+        (full - 1.0) * 100.0
+    ));
+    result.note(format!(
+        "full stack vs BCA alone: +{:.0}% (paper: ~59%)",
+        (full / bca_only - 1.0) * 100.0
+    ));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_stack_ladder_is_well_formed() {
+        // Quick scale cannot amortize the arrival migrations (the paper's
+        // runs span hours; see EXPERIMENTS.md), so this test checks
+        // structure: all four rungs present, BASIL normalized to 1, the
+        // architectural stack's migration activity below plain BCA's.
+        let r = run(Scale::Quick);
+        assert_eq!(r.rows.len(), 4);
+        let basil = r.value("BASIL", 0).unwrap();
+        assert!((basil - 1.0).abs() < 1e-9);
+        let bca_mig = r.value("BCA", 2).unwrap();
+        let full_mig = r.value("BCA+Lazy+Arch", 2).unwrap();
+        assert!(
+            full_mig <= bca_mig * 1.05,
+            "arch stack migration time {full_mig} above BCA {bca_mig}"
+        );
+        for row in &r.rows {
+            assert!(row.values.iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+    }
+}

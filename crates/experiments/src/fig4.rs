@@ -1,0 +1,110 @@
+//! Fig. 4 — the memory-traffic effect on NVDIMM performance: NVDIMM
+//! latency fluctuates periodically with the co-runner's memory intensity.
+
+use crate::harness::{ExperimentResult, Row, Scale};
+use nvhsm_core::{NodeConfig, NodeSim, PolicyKind};
+use nvhsm_workload::hibench::{profile, Benchmark};
+use nvhsm_workload::SpecProgram;
+
+/// Runs bayes on the NVDIMM next to 429.mcf and samples latency + memory
+/// intensity per epoch.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let mut cfg = NodeConfig::small();
+    cfg.policy = PolicyKind::Basil;
+    cfg.tau = 1.0; // observation only: suppress migrations
+    cfg.spec = Some(SpecProgram::Mcf429);
+    cfg.train_requests = scale.train_requests().min(40);
+    let mut sim = NodeSim::new(cfg, 4);
+    sim.add_workload_on(profile(Benchmark::Bayes), 0);
+    let report = sim.run_secs(scale.horizon_secs());
+
+    let mut result = ExperimentResult::new(
+        "fig4",
+        "NVDIMM latency tracks memory intensity over time (Fig. 4)",
+        (0..report.nvdimm_latency_series.len())
+            .map(|i| format!("e{i}"))
+            .collect(),
+    );
+    result.push_row(Row::new(
+        "nvdimm_latency_us",
+        report.nvdimm_latency_series.clone(),
+    ));
+    result.push_row(Row::new(
+        "bus_utilization",
+        report.bus_utilization_series.clone(),
+    ));
+
+    // Correlation between the two series is the figure's message.
+    let corr = correlation(
+        &report.nvdimm_latency_series,
+        &report.bus_utilization_series,
+    );
+    result.note(format!(
+        "latency/memory-intensity correlation: {corr:.2} (paper: periodic co-fluctuation)"
+    ));
+    let lo = report
+        .nvdimm_latency_series
+        .iter()
+        .cloned()
+        .filter(|&x| x > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let hi = report
+        .nvdimm_latency_series
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max);
+    result.note(format!(
+        "latency swing: {lo:.0} µs → {hi:.0} µs ({:.1}x)",
+        hi / lo.max(1e-9)
+    ));
+    result
+}
+
+/// Pearson correlation of two equal-length series.
+fn correlation(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let (a, b) = (&a[..n], &b[..n]);
+    let ma = a.iter().sum::<f64>() / n as f64;
+    let mb = b.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..n {
+        cov += (a[i] - ma) * (b[i] - mb);
+        va += (a[i] - ma).powi(2);
+        vb += (b[i] - mb).powi(2);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_correlates_with_memory_intensity() {
+        let r = run(Scale::Quick);
+        let note = &r.notes[0];
+        let corr: f64 = note
+            .split(':')
+            .nth(1)
+            .and_then(|s| s.trim().split(' ').next())
+            .and_then(|s| s.parse().ok())
+            .expect("parse correlation");
+        assert!(corr > 0.4, "weak correlation: {corr} ({note})");
+    }
+
+    #[test]
+    fn correlation_helper_sane() {
+        assert!((correlation(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((correlation(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(correlation(&[1.0], &[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Shared experiment infrastructure: result tables, scales, printing.
+
+use serde::{Deserialize, Serialize};
+
+/// Experiment fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Short horizons for tests/CI.
+    Quick,
+    /// Paper-shape runs (seconds of wall time per experiment).
+    Full,
+}
+
+impl Scale {
+    /// Virtual seconds for management-level runs.
+    pub fn horizon_secs(self) -> u64 {
+        match self {
+            Scale::Quick => 4,
+            Scale::Full => 16,
+        }
+    }
+
+    /// Pretraining requests per grid point.
+    pub fn train_requests(self) -> usize {
+        match self {
+            Scale::Quick => 40,
+            Scale::Full => 120,
+        }
+    }
+
+    /// Generic element-count multiplier for device-level sweeps.
+    pub fn factor(self) -> usize {
+        match self {
+            Scale::Quick => 1,
+            Scale::Full => 4,
+        }
+    }
+}
+
+/// One labeled row of numbers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Row label (scheme, device, benchmark, …).
+    pub label: String,
+    /// Values, one per column.
+    pub values: Vec<f64>,
+}
+
+impl Row {
+    /// Builds a row.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Row {
+            label: label.into(),
+            values,
+        }
+    }
+}
+
+/// A reproduced table/figure: a titled set of labeled rows plus free-form
+/// notes comparing against the paper's claims.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Artifact id (`fig12`, `table2`, …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers (excluding the label column).
+    pub columns: Vec<String>,
+    /// The rows.
+    pub rows: Vec<Row>,
+    /// Comparison notes (paper claim vs. measured).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Builds an empty result.
+    pub fn new(id: &str, title: &str, columns: Vec<String>) -> Self {
+        ExperimentResult {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            columns,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a row.
+    pub fn push_row(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Finds a value by row label and column index.
+    pub fn value(&self, label: &str, column: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.label == label)
+            .and_then(|r| r.values.get(column))
+            .copied()
+    }
+
+    /// Renders the result as CSV (label column + value columns), for
+    /// plotting tools.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("label");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.label);
+            for v in &row.values {
+                out.push(',');
+                out.push_str(&format!("{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the result as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} : {} ==\n", self.id, self.title));
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once(8))
+            .max()
+            .unwrap_or(8)
+            + 2;
+        let col_w = 14usize;
+        out.push_str(&format!("{:label_w$}", ""));
+        for c in &self.columns {
+            let c = if c.len() > col_w - 1 {
+                &c[..col_w - 1]
+            } else {
+                c
+            };
+            out.push_str(&format!("{c:>col_w$}"));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("{:label_w$}", row.label));
+            for v in &row.values {
+                let s = if v.abs() >= 1000.0 {
+                    format!("{v:.0}")
+                } else if v.abs() >= 10.0 {
+                    format!("{v:.1}")
+                } else {
+                    format!("{v:.3}")
+                };
+                out.push_str(&format!("{s:>col_w$}"));
+            }
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_and_lists_notes() {
+        let mut r = ExperimentResult::new(
+            "t",
+            "demo",
+            vec!["a".into(), "b".into()],
+        );
+        r.push_row(Row::new("row1", vec![1.0, 12345.0]));
+        r.note("hello");
+        let s = r.render();
+        assert!(s.contains("t : demo"));
+        assert!(s.contains("row1"));
+        assert!(s.contains("12345"));
+        assert!(s.contains("note: hello"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut r = ExperimentResult::new("t", "demo", vec!["a".into(), "b".into()]);
+        r.push_row(Row::new("x", vec![1.0, 2.5]));
+        let csv = r.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("label,a,b"));
+        assert_eq!(lines.next(), Some("x,1,2.5"));
+    }
+
+    #[test]
+    fn value_lookup() {
+        let mut r = ExperimentResult::new("t", "demo", vec!["a".into()]);
+        r.push_row(Row::new("x", vec![7.0]));
+        assert_eq!(r.value("x", 0), Some(7.0));
+        assert_eq!(r.value("x", 1), None);
+        assert_eq!(r.value("y", 0), None);
+    }
+
+    #[test]
+    fn scales_monotone() {
+        assert!(Scale::Full.horizon_secs() > Scale::Quick.horizon_secs());
+        assert!(Scale::Full.train_requests() > Scale::Quick.train_requests());
+    }
+}

@@ -1,0 +1,62 @@
+//! CLI for the experiment harnesses.
+//!
+//! ```text
+//! experiments <id>... [--quick] [--json]
+//! experiments all [--quick]
+//! experiments list
+//! ```
+
+use nvhsm_experiments::{run_experiment, Scale, ALL_EXPERIMENTS};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let csv = args.iter().any(|a| a == "--csv");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    if ids.is_empty() || ids == ["list"] {
+        eprintln!("usage: experiments <id>... [--quick] [--json] [--csv]");
+        eprintln!("known experiments: {}", ALL_EXPERIMENTS.join(", "));
+        eprintln!("`all` runs everything in paper order");
+        return if ids == ["list"] {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let ids: Vec<&str> = if ids == ["all"] {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        ids
+    };
+
+    for id in ids {
+        match run_experiment(id, scale) {
+            Ok(result) => {
+                if json {
+                    println!(
+                        "{}",
+                        serde_json::to_string_pretty(&result).expect("serializable result")
+                    );
+                } else if csv {
+                    println!("{}", result.to_csv());
+                } else {
+                    println!("{}", result.render());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

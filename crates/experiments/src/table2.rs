@@ -1,0 +1,76 @@
+//! Table 2 — migration overhead introduced by memory-bus interference for
+//! the three baseline schemes, single and multiple nodes.
+//!
+//! For each scheme the mix runs twice — with and without the 429.mcf
+//! co-runner — and the overhead is the extra migration time interference
+//! causes: `1 − time_without / time_with`.
+
+use crate::harness::{ExperimentResult, Row, Scale};
+use crate::mix::{run_mix_avg, seeds_for, MixParams};
+use nvhsm_core::PolicyKind;
+use nvhsm_workload::SpecProgram;
+
+/// Runs the six scheme/environment combinations.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "table2",
+        "Migration overhead from memory interference (Table 2)",
+        vec![
+            "overhead_pct".into(),
+            "mig_s_with".into(),
+            "mig_s_without".into(),
+            "migs_with".into(),
+            "migs_without".into(),
+        ],
+    );
+    let seeds = seeds_for(scale);
+    for (env, nodes) in [("single", 1usize), ("multi", 3)] {
+        for policy in [PolicyKind::Basil, PolicyKind::Pesto, PolicyKind::LightSrm] {
+            let mut params = MixParams::standard(policy);
+            params.nodes = nodes;
+            params.spec = Some(SpecProgram::Mcf429);
+            let with = run_mix_avg(params, scale, &seeds);
+            params.spec = None;
+            let without = run_mix_avg(params, scale, &seeds);
+
+            let overhead = if with.migration_busy_s > 0.0 {
+                (1.0 - without.migration_busy_s / with.migration_busy_s).max(0.0) * 100.0
+            } else {
+                0.0
+            };
+            result.push_row(Row::new(
+                format!("{env}_{policy}"),
+                vec![
+                    overhead,
+                    with.migration_busy_s,
+                    without.migration_busy_s,
+                    with.migrations_started,
+                    without.migrations_started,
+                ],
+            ));
+        }
+    }
+    result.note(
+        "paper: single node BASIL 91%, Pesto 77%, LightSRM 50%; multi node 86%/63%/39% — \
+         interference should inflate migration time for every baseline"
+            .to_owned(),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interference_inflates_baseline_migration_time() {
+        let r = run(Scale::Quick);
+        // At least two of the three single-node baselines should show
+        // positive interference overhead.
+        let positive = ["single_BASIL", "single_Pesto", "single_LightSRM"]
+            .iter()
+            .filter(|l| r.value(l, 0).unwrap_or(0.0) > 0.0)
+            .count();
+        assert!(positive >= 2, "overheads: {:#?}", r.rows);
+    }
+}

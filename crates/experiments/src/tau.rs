@@ -1,0 +1,54 @@
+//! §6.2.1 — the migration-threshold sweep: larger τ triggers fewer
+//! migrations (less overhead) but leaves the devices less balanced.
+
+use crate::harness::{ExperimentResult, Row, Scale};
+use crate::mix::{run_mix_avg, seeds_for, MixParams};
+use nvhsm_core::PolicyKind;
+
+/// Sweeps τ over the paper's 0.2–0.8 range under BCA.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "tau",
+        "Migration threshold sweep (§6.2.1)",
+        vec![
+            "migrations".into(),
+            "mig_time_s".into(),
+            "mean_lat_us".into(),
+        ],
+    );
+    let seeds = seeds_for(scale);
+    let mut migs = Vec::new();
+    for tau in [0.2, 0.35, 0.5, 0.65, 0.8] {
+        let mut params = MixParams::with_arrivals(PolicyKind::Bca);
+        params.tau = tau;
+        let summary = run_mix_avg(params, scale, &seeds);
+        migs.push(summary.migrations_started);
+        result.push_row(Row::new(
+            format!("tau_{tau:.2}"),
+            vec![
+                summary.migrations_started,
+                summary.migration_busy_s,
+                summary.mean_latency_us,
+            ],
+        ));
+    }
+    let decreasing = migs.windows(2).filter(|w| w[1] <= w[0]).count();
+    result.note(format!(
+        "migration count non-increasing in {decreasing}/{} steps (paper: overhead decreases with tau; balance degrades)",
+        migs.len() - 1
+    ));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_tau_migrates_no_more() {
+        let r = run(Scale::Quick);
+        let lo = r.value("tau_0.20", 0).unwrap();
+        let hi = r.value("tau_0.80", 0).unwrap();
+        assert!(hi <= lo, "tau=0.8 migrated more ({hi}) than tau=0.2 ({lo})");
+    }
+}

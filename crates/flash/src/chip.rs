@@ -1,0 +1,149 @@
+//! A single NAND chip: one command at a time, with read/program/erase
+//! latencies.
+
+use crate::config::FlashConfig;
+use nvhsm_sim::{SimDuration, SimTime};
+
+/// Kind of NAND array operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChipOp {
+    /// Page read: cell array → page register.
+    Read,
+    /// Page program: page register → cell array.
+    Program,
+    /// Block erase.
+    Erase,
+}
+
+/// One NAND chip. A chip executes one array operation at a time; the
+/// per-chip `busy_until` horizon is how way-level parallelism (multiple
+/// chips per channel) shows up.
+#[derive(Debug, Clone)]
+pub struct Chip {
+    busy_until: SimTime,
+    reads: u64,
+    programs: u64,
+    erases: u64,
+    busy_ns: u64,
+}
+
+/// Time window an operation occupied the chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipGrant {
+    /// When the chip started the operation.
+    pub start: SimTime,
+    /// When the chip finished the operation.
+    pub done: SimTime,
+}
+
+impl Chip {
+    /// A new idle chip.
+    pub fn new() -> Self {
+        Chip {
+            busy_until: SimTime::ZERO,
+            reads: 0,
+            programs: 0,
+            erases: 0,
+            busy_ns: 0,
+        }
+    }
+
+    fn latency(op: ChipOp, cfg: &FlashConfig) -> SimDuration {
+        match op {
+            ChipOp::Read => cfg.read_latency,
+            ChipOp::Program => cfg.program_latency,
+            ChipOp::Erase => cfg.erase_latency,
+        }
+    }
+
+    /// Executes `op`, starting no earlier than `at` and no earlier than the
+    /// chip becomes free.
+    pub fn execute(&mut self, op: ChipOp, at: SimTime, cfg: &FlashConfig) -> ChipGrant {
+        let start = at.max(self.busy_until);
+        let dur = Self::latency(op, cfg) + cfg.sync_buffer_latency;
+        let done = start + dur;
+        self.busy_until = done;
+        self.busy_ns += dur.as_ns();
+        match op {
+            ChipOp::Read => self.reads += 1,
+            ChipOp::Program => self.programs += 1,
+            ChipOp::Erase => self.erases += 1,
+        }
+        ChipGrant { start, done }
+    }
+
+    /// Earliest time the chip is free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Page reads executed.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Page programs executed.
+    pub fn programs(&self) -> u64 {
+        self.programs
+    }
+
+    /// Block erases executed.
+    pub fn erases(&self) -> u64 {
+        self.erases
+    }
+
+    /// Total busy time in nanoseconds.
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+}
+
+impl Default for Chip {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FlashConfig {
+        FlashConfig::small_test()
+    }
+
+    #[test]
+    fn operations_have_table4_latencies() {
+        let c = cfg();
+        let mut chip = Chip::new();
+        let g = chip.execute(ChipOp::Read, SimTime::ZERO, &c);
+        assert_eq!(g.done - g.start, c.read_latency + c.sync_buffer_latency);
+        let g = chip.execute(ChipOp::Program, g.done, &c);
+        assert_eq!(g.done - g.start, c.program_latency + c.sync_buffer_latency);
+        let g = chip.execute(ChipOp::Erase, g.done, &c);
+        assert_eq!(g.done - g.start, c.erase_latency + c.sync_buffer_latency);
+    }
+
+    #[test]
+    fn chip_serializes_operations() {
+        let c = cfg();
+        let mut chip = Chip::new();
+        let g0 = chip.execute(ChipOp::Program, SimTime::ZERO, &c);
+        let g1 = chip.execute(ChipOp::Read, SimTime::ZERO, &c);
+        assert_eq!(g1.start, g0.done);
+    }
+
+    #[test]
+    fn counters_track_operations() {
+        let c = cfg();
+        let mut chip = Chip::new();
+        chip.execute(ChipOp::Read, SimTime::ZERO, &c);
+        chip.execute(ChipOp::Read, SimTime::ZERO, &c);
+        chip.execute(ChipOp::Program, SimTime::ZERO, &c);
+        chip.execute(ChipOp::Erase, SimTime::ZERO, &c);
+        assert_eq!(chip.reads(), 2);
+        assert_eq!(chip.programs(), 1);
+        assert_eq!(chip.erases(), 1);
+        assert!(chip.busy_ns() > 0);
+    }
+}

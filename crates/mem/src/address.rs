@@ -1,0 +1,133 @@
+//! Physical-address to channel/rank/bank/row mapping.
+//!
+//! Uses the common row:rank:bank:channel:column interleaving so consecutive
+//! cache lines stripe across channels first (maximizing channel parallelism)
+//! and then across banks, like DRAMSim2's default scheme.
+
+use crate::config::DramConfig;
+use serde::{Deserialize, Serialize};
+
+/// Decoded location of a physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Location {
+    /// Channel index.
+    pub channel: usize,
+    /// Rank index within the channel.
+    pub rank: usize,
+    /// Bank index within the rank.
+    pub bank: usize,
+    /// Row index within the bank.
+    pub row: u64,
+}
+
+/// Maps physical addresses to DRAM locations.
+///
+/// # Examples
+///
+/// ```
+/// use nvhsm_mem::address::AddressMapper;
+/// use nvhsm_mem::DramConfig;
+///
+/// let m = AddressMapper::new(&DramConfig::ddr3_1600());
+/// let a = m.decode(0);
+/// let b = m.decode(64); // next cache line lands on the next channel
+/// assert_ne!(a.channel, b.channel);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressMapper {
+    line_shift: u32,
+    channels: u64,
+    ranks: u64,
+    banks: u64,
+    lines_per_row: u64,
+}
+
+impl AddressMapper {
+    /// Builds a mapper for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`DramConfig::validate`].
+    pub fn new(cfg: &DramConfig) -> Self {
+        cfg.validate().expect("invalid DRAM config");
+        AddressMapper {
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            channels: cfg.channels as u64,
+            ranks: cfg.ranks as u64,
+            banks: cfg.banks as u64,
+            lines_per_row: cfg.row_bytes / cfg.line_bytes,
+        }
+    }
+
+    /// Decodes a physical byte address.
+    pub fn decode(&self, addr: u64) -> Location {
+        let line = addr >> self.line_shift;
+        let channel = (line % self.channels) as usize;
+        let rest = line / self.channels;
+        let col = rest % self.lines_per_row;
+        let rest = rest / self.lines_per_row;
+        let bank = (rest % self.banks) as usize;
+        let rest = rest / self.banks;
+        let rank = (rest % self.ranks) as usize;
+        let row = rest / self.ranks;
+        let _ = col;
+        Location {
+            channel,
+            rank,
+            bank,
+            row,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consecutive_lines_stripe_channels() {
+        let cfg = DramConfig::ddr3_1600();
+        let m = AddressMapper::new(&cfg);
+        let locs: Vec<Location> = (0..4).map(|i| m.decode(i * 64)).collect();
+        let channels: Vec<usize> = locs.iter().map(|l| l.channel).collect();
+        assert_eq!(channels, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn same_row_for_lines_within_a_row() {
+        let cfg = DramConfig::ddr3_1600();
+        let m = AddressMapper::new(&cfg);
+        // Lines 0 and 4 are both on channel 0 and within the first row.
+        let a = m.decode(0);
+        let b = m.decode(4 * 64);
+        assert_eq!(a.channel, b.channel);
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.bank, b.bank);
+    }
+
+    #[test]
+    fn row_changes_after_spanning_row_bytes() {
+        let cfg = DramConfig::ddr3_1600();
+        let m = AddressMapper::new(&cfg);
+        // One row holds row_bytes/line_bytes lines per channel; jumping a full
+        // row's worth of same-channel lines changes bank (bank interleaving
+        // before rank/row).
+        let lines_per_row = cfg.row_bytes / cfg.line_bytes;
+        let a = m.decode(0);
+        let b = m.decode(lines_per_row * cfg.channels as u64 * 64);
+        assert_eq!(a.channel, b.channel);
+        assert_ne!((a.bank, a.row), (b.bank, b.row));
+    }
+
+    #[test]
+    fn indices_within_bounds() {
+        let cfg = DramConfig::ddr3_1600();
+        let m = AddressMapper::new(&cfg);
+        for i in 0..10_000u64 {
+            let l = m.decode(i * 64 * 31); // stride to mix things up
+            assert!(l.channel < cfg.channels);
+            assert!(l.rank < cfg.ranks);
+            assert!(l.bank < cfg.banks);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Per-bank DRAM state: open row tracking and timing-state bookkeeping.
+
+use crate::config::DramConfig;
+use nvhsm_sim::{SimDuration, SimTime};
+
+/// Row-buffer outcome of an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// The requested row was already open: column access only.
+    Hit,
+    /// The bank was idle (no open row): activate then access.
+    Closed,
+    /// A different row was open: precharge, activate, then access.
+    Conflict,
+}
+
+/// State of a single DRAM bank.
+///
+/// The bank exposes one operation, [`Bank::prepare_access`], which computes
+/// the earliest time data can be driven on the bus for a given row, updates
+/// the open-row state, and returns the command latency consumed before the
+/// burst.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    open_row: Option<u64>,
+    /// Earliest time the bank can accept a new command.
+    ready: SimTime,
+    hits: u64,
+    misses: u64,
+}
+
+impl Bank {
+    /// A new idle bank.
+    pub fn new() -> Self {
+        Bank {
+            open_row: None,
+            ready: SimTime::ZERO,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Computes the command latency to access `row` at a command issued no
+    /// earlier than `at`, updating the open row. Returns the row outcome,
+    /// the command latency (before data transfer can start), and the
+    /// earliest instant the command can be issued.
+    pub fn prepare_access(
+        &mut self,
+        row: u64,
+        at: SimTime,
+        cfg: &DramConfig,
+    ) -> (RowOutcome, SimDuration, SimTime) {
+        let issue = at.max(self.ready);
+        let (outcome, latency) = match self.open_row {
+            Some(open) if open == row => {
+                self.hits += 1;
+                (RowOutcome::Hit, cfg.act_to_rw)
+            }
+            Some(_) => {
+                self.misses += 1;
+                (RowOutcome::Conflict, cfg.pre + cfg.act_to_rw)
+            }
+            None => {
+                self.misses += 1;
+                (RowOutcome::Closed, cfg.act_to_rw)
+            }
+        };
+        self.open_row = Some(row);
+        // The bank cannot take the *next* command until the restore window
+        // after this access elapses.
+        self.ready = issue + latency + cfg.rw_to_pre;
+        (outcome, latency, issue)
+    }
+
+    /// Earliest time the bank can accept a new command.
+    pub fn ready_at(&self) -> SimTime {
+        self.ready
+    }
+
+    /// Row-buffer hit count so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Row-buffer miss (closed + conflict) count so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Forces the bank closed (used by refresh).
+    pub fn close(&mut self, until: SimTime) {
+        self.open_row = None;
+        self.ready = self.ready.max(until);
+    }
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DramConfig {
+        DramConfig::ddr3_1600()
+    }
+
+    #[test]
+    fn first_access_is_closed_miss() {
+        let mut b = Bank::new();
+        let (outcome, lat, issue) = b.prepare_access(7, SimTime::from_ns(100), &cfg());
+        assert_eq!(outcome, RowOutcome::Closed);
+        assert_eq!(lat, cfg().act_to_rw);
+        assert_eq!(issue, SimTime::from_ns(100));
+        assert_eq!(b.misses(), 1);
+    }
+
+    #[test]
+    fn repeat_access_hits_open_row() {
+        let mut b = Bank::new();
+        b.prepare_access(7, SimTime::ZERO, &cfg());
+        let (outcome, lat, _) = b.prepare_access(7, SimTime::from_us(1), &cfg());
+        assert_eq!(outcome, RowOutcome::Hit);
+        assert_eq!(lat, cfg().act_to_rw);
+        assert_eq!(b.hits(), 1);
+    }
+
+    #[test]
+    fn different_row_conflicts_and_costs_precharge() {
+        let mut b = Bank::new();
+        b.prepare_access(7, SimTime::ZERO, &cfg());
+        let (outcome, lat, _) = b.prepare_access(8, SimTime::from_us(1), &cfg());
+        assert_eq!(outcome, RowOutcome::Conflict);
+        assert_eq!(lat, cfg().pre + cfg().act_to_rw);
+    }
+
+    #[test]
+    fn back_to_back_commands_respect_restore_window() {
+        let c = cfg();
+        let mut b = Bank::new();
+        let (_, lat0, issue0) = b.prepare_access(1, SimTime::ZERO, &c);
+        let expected_ready = issue0 + lat0 + c.rw_to_pre;
+        assert_eq!(b.ready_at(), expected_ready);
+        // A command arriving immediately is pushed to the ready time.
+        let (_, _, issue1) = b.prepare_access(1, SimTime::ZERO, &c);
+        assert_eq!(issue1, expected_ready);
+    }
+
+    #[test]
+    fn close_resets_row_state() {
+        let c = cfg();
+        let mut b = Bank::new();
+        b.prepare_access(3, SimTime::ZERO, &c);
+        b.close(SimTime::from_us(5));
+        assert!(b.ready_at() >= SimTime::from_us(5));
+        let (outcome, _, _) = b.prepare_access(3, SimTime::from_us(10), &c);
+        assert_eq!(outcome, RowOutcome::Closed, "row buffer was invalidated");
+    }
+}

@@ -1,0 +1,158 @@
+//! Pesto's aggregation device model (the "other model" the paper's §4.4
+//! compares against and rejects).
+//!
+//! Pesto characterizes a device by a single linear relationship between
+//! latency and outstanding I/Os — the *LQ-slope*. The paper's argument for
+//! the regression tree is that the aggregation model sees only OIOs while
+//! the tree uses all six workload characteristics; the ablation tests here
+//! quantify exactly that gap.
+
+use crate::features::{Features, Sample};
+use serde::{Deserialize, Serialize};
+
+/// Latency = `intercept + slope · OIOs`, fitted by least squares on the
+/// OIO dimension alone.
+///
+/// # Examples
+///
+/// ```
+/// use nvhsm_model::aggregation::AggregationModel;
+/// use nvhsm_model::{Features, Sample};
+///
+/// let samples: Vec<Sample> = (0..20)
+///     .map(|i| Sample {
+///         features: Features { oios: i as f64, ..Features::default() },
+///         latency_us: 10.0 + 4.0 * i as f64,
+///     })
+///     .collect();
+/// let m = AggregationModel::fit(&samples);
+/// assert!((m.slope_us_per_oio() - 4.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AggregationModel {
+    intercept: f64,
+    slope: f64,
+}
+
+impl AggregationModel {
+    /// Fits the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn fit(samples: &[Sample]) -> Self {
+        assert!(!samples.is_empty(), "cannot fit on an empty sample set");
+        let n = samples.len() as f64;
+        let mean_x = samples.iter().map(|s| s.features.oios).sum::<f64>() / n;
+        let mean_y = samples.iter().map(|s| s.latency_us).sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for s in samples {
+            let dx = s.features.oios - mean_x;
+            sxx += dx * dx;
+            sxy += dx * (s.latency_us - mean_y);
+        }
+        let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+        AggregationModel {
+            intercept: mean_y - slope * mean_x,
+            slope,
+        }
+    }
+
+    /// Predicted latency for `features` (only `oios` is consulted).
+    pub fn predict(&self, features: &Features) -> f64 {
+        self.intercept + self.slope * features.oios
+    }
+
+    /// The fitted LQ slope, µs per outstanding I/O.
+    pub fn slope_us_per_oio(&self) -> f64 {
+        self.slope
+    }
+
+    /// The fitted intercept (latency at zero queue), µs.
+    pub fn intercept_us(&self) -> f64 {
+        self.intercept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::rmse;
+    use crate::{PerfModel, Dataset};
+    use nvhsm_sim::SimRng;
+
+    fn multi_factor_samples(n: usize, seed: u64) -> Vec<Sample> {
+        let mut rng = SimRng::new(seed);
+        (0..n)
+            .map(|_| {
+                let f = Features {
+                    wr_ratio: rng.uniform(),
+                    oios: rng.uniform() * 16.0,
+                    ios: 1.0 + rng.uniform() * 15.0,
+                    wr_rand: rng.uniform(),
+                    rd_rand: rng.uniform(),
+                    free_space_ratio: rng.uniform(),
+                };
+                Sample {
+                    features: f,
+                    // Latency depends on far more than the queue depth.
+                    latency_us: 20.0
+                        + 6.0 * f.oios
+                        + 250.0 * f.rd_rand
+                        + if f.free_space_ratio < 0.15 { 200.0 } else { 0.0 },
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_pure_oio_relationship() {
+        let samples: Vec<Sample> = (0..50)
+            .map(|i| Sample {
+                features: Features {
+                    oios: (i % 10) as f64,
+                    ..Features::default()
+                },
+                latency_us: 7.0 + 3.0 * (i % 10) as f64,
+            })
+            .collect();
+        let m = AggregationModel::fit(&samples);
+        assert!((m.slope_us_per_oio() - 3.0).abs() < 1e-9);
+        assert!((m.intercept_us() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_oio_degenerates_to_mean() {
+        let samples: Vec<Sample> = [10.0, 20.0, 30.0]
+            .iter()
+            .map(|&l| Sample {
+                features: Features {
+                    oios: 4.0,
+                    ..Features::default()
+                },
+                latency_us: l,
+            })
+            .collect();
+        let m = AggregationModel::fit(&samples);
+        assert_eq!(m.slope_us_per_oio(), 0.0);
+        assert!((m.predict(&samples[0].features) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_tree_beats_aggregation_on_multifactor_workloads() {
+        // The paper's §4.4 ablation: "the aggregation model is based on the
+        // outstanding IOs only while the linear regression model considers
+        // all the key and non-key factors."
+        let train = multi_factor_samples(600, 42);
+        let test = multi_factor_samples(200, 43);
+        let agg = AggregationModel::fit(&train);
+        let tree = PerfModel::train(&train.iter().cloned().collect::<Dataset>());
+        let agg_err = rmse(test.iter().map(|s| (agg.predict(&s.features), s.latency_us)));
+        let tree_err = rmse(test.iter().map(|s| (tree.predict(&s.features), s.latency_us)));
+        assert!(
+            tree_err < agg_err / 2.0,
+            "tree rmse {tree_err} not clearly below aggregation rmse {agg_err}"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Bus-contention estimation: `BC = MP − PP` (Eq. 3).
+//!
+//! The performance model is trained on contention-free observations, so at
+//! run time the difference between the *measured* NVDIMM latency and the
+//! model's prediction isolates the memory-bus contention component. The
+//! storage manager uses this both to de-bias imbalance detection (Eq. 5
+//! uses `PP`, not `MP`, for NVDIMMs) and to price migrations (Eq. 6).
+
+use crate::features::Features;
+use crate::PerfModel;
+use nvhsm_sim::OnlineStats;
+
+/// Online bus-contention estimator for one NVDIMM device.
+#[derive(Debug, Clone)]
+pub struct ContentionEstimator {
+    history: OnlineStats,
+}
+
+impl ContentionEstimator {
+    /// A fresh estimator.
+    pub fn new() -> Self {
+        ContentionEstimator {
+            history: OnlineStats::new(),
+        }
+    }
+
+    /// Computes the contention estimate for one epoch: measured latency
+    /// minus predicted latency, clamped at zero (the model may slightly
+    /// over-predict). Also records it into the running history.
+    pub fn observe(&mut self, model: &PerfModel, features: &Features, measured_us: f64) -> f64 {
+        let predicted = model.predict(features);
+        let bc = (measured_us - predicted).max(0.0);
+        self.history.add(bc);
+        bc
+    }
+
+    /// Mean contention observed so far, µs.
+    pub fn mean_us(&self) -> f64 {
+        self.history.mean()
+    }
+
+    /// Number of epochs observed.
+    pub fn epochs(&self) -> u64 {
+        self.history.count()
+    }
+}
+
+impl Default for ContentionEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{Dataset, Sample};
+
+    fn flat_model(level: f64) -> PerfModel {
+        let mut data = Dataset::new();
+        for i in 0..32 {
+            data.push(Sample {
+                features: Features {
+                    oios: (i % 4) as f64,
+                    ..Features::default()
+                },
+                latency_us: level,
+            });
+        }
+        PerfModel::train(&data)
+    }
+
+    #[test]
+    fn contention_is_measured_minus_predicted() {
+        let model = flat_model(50.0);
+        let mut est = ContentionEstimator::new();
+        let bc = est.observe(&model, &Features::default(), 80.0);
+        assert!((bc - 30.0).abs() < 1.0, "bc {bc}");
+    }
+
+    #[test]
+    fn contention_clamped_at_zero() {
+        let model = flat_model(50.0);
+        let mut est = ContentionEstimator::new();
+        let bc = est.observe(&model, &Features::default(), 20.0);
+        assert_eq!(bc, 0.0);
+    }
+
+    #[test]
+    fn history_accumulates() {
+        let model = flat_model(50.0);
+        let mut est = ContentionEstimator::new();
+        est.observe(&model, &Features::default(), 60.0);
+        est.observe(&model, &Features::default(), 70.0);
+        assert_eq!(est.epochs(), 2);
+        assert!((est.mean_us() - 15.0).abs() < 1.0);
+    }
+}

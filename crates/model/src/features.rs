@@ -1,0 +1,202 @@
+//! The workload-characteristics feature vector (Eq. 2) and training data.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of features in the `WC` vector.
+pub const NUM_FEATURES: usize = 6;
+
+/// Feature names, in `to_array` order.
+pub const FEATURE_NAMES: [&str; NUM_FEATURES] = [
+    "wr_ratio",
+    "oios",
+    "ios",
+    "wr_rand",
+    "rd_rand",
+    "free_space_ratio",
+];
+
+/// The `WC` workload-characteristics vector of Eq. 2.
+///
+/// # Examples
+///
+/// ```
+/// use nvhsm_model::Features;
+/// let f = Features { wr_ratio: 0.25, ios: 2.0, ..Features::default() };
+/// assert_eq!(f.to_array()[0], 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Features {
+    /// Fraction of writes among all requests.
+    pub wr_ratio: f64,
+    /// Outstanding I/Os.
+    pub oios: f64,
+    /// Mean request size in 4 KiB blocks.
+    pub ios: f64,
+    /// Random fraction of writes.
+    pub wr_rand: f64,
+    /// Random fraction of reads.
+    pub rd_rand: f64,
+    /// Free-space ratio (GC pressure proxy for flash devices).
+    pub free_space_ratio: f64,
+}
+
+impl Features {
+    /// The vector as an array in [`FEATURE_NAMES`] order.
+    pub fn to_array(&self) -> [f64; NUM_FEATURES] {
+        [
+            self.wr_ratio,
+            self.oios,
+            self.ios,
+            self.wr_rand,
+            self.rd_rand,
+            self.free_space_ratio,
+        ]
+    }
+
+    /// Builds a vector from an array in [`FEATURE_NAMES`] order.
+    pub fn from_array(a: [f64; NUM_FEATURES]) -> Self {
+        Features {
+            wr_ratio: a[0],
+            oios: a[1],
+            ios: a[2],
+            wr_rand: a[3],
+            rd_rand: a[4],
+            free_space_ratio: a[5],
+        }
+    }
+
+    /// Value of feature `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_FEATURES`.
+    pub fn get(&self, index: usize) -> f64 {
+        self.to_array()[index]
+    }
+}
+
+/// One training observation: a feature vector and the measured latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Workload characteristics.
+    pub features: Features,
+    /// Observed latency in microseconds.
+    pub latency_us: f64,
+}
+
+/// A collection of training samples.
+///
+/// # Examples
+///
+/// ```
+/// use nvhsm_model::{Dataset, Features, Sample};
+/// let mut d = Dataset::new();
+/// d.push(Sample { features: Features::default(), latency_us: 10.0 });
+/// assert_eq!(d.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Splits deterministically into train/test by taking every `k`-th
+    /// sample into the test set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn split_every(&self, k: usize) -> (Dataset, Dataset) {
+        assert!(k >= 2, "k must be at least 2");
+        let mut train = Dataset::new();
+        let mut test = Dataset::new();
+        for (i, &s) in self.samples.iter().enumerate() {
+            if i % k == 0 {
+                test.push(s);
+            } else {
+                train.push(s);
+            }
+        }
+        (train, test)
+    }
+}
+
+impl FromIterator<Sample> for Dataset {
+    fn from_iter<I: IntoIterator<Item = Sample>>(iter: I) -> Self {
+        Dataset {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Sample> for Dataset {
+    fn extend<I: IntoIterator<Item = Sample>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_round_trip() {
+        let f = Features {
+            wr_ratio: 0.1,
+            oios: 2.0,
+            ios: 3.0,
+            wr_rand: 0.4,
+            rd_rand: 0.5,
+            free_space_ratio: 0.6,
+        };
+        assert_eq!(Features::from_array(f.to_array()), f);
+        for (i, name) in FEATURE_NAMES.iter().enumerate() {
+            let _ = name;
+            assert_eq!(f.get(i), f.to_array()[i]);
+        }
+    }
+
+    #[test]
+    fn split_every_partitions() {
+        let d: Dataset = (0..10)
+            .map(|i| Sample {
+                features: Features::default(),
+                latency_us: i as f64,
+            })
+            .collect();
+        let (train, test) = d.split_every(5);
+        assert_eq!(test.len(), 2);
+        assert_eq!(train.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 2")]
+    fn split_rejects_small_k() {
+        let _ = Dataset::new().split_every(1);
+    }
+}

@@ -1,0 +1,214 @@
+//! Multiple linear regression by regularized normal equations.
+//!
+//! Used both standalone (the paper's §4.4 "multiple linear regression")
+//! and as the leaf model of the regression tree.
+
+use crate::features::{Features, Sample, NUM_FEATURES};
+use serde::{Deserialize, Serialize};
+
+const DIM: usize = NUM_FEATURES + 1; // intercept + features
+
+/// A fitted multiple linear regression `y = b0 + Σ bi·xi`.
+///
+/// # Examples
+///
+/// ```
+/// use nvhsm_model::{Features, LinearRegression, Sample};
+/// let samples: Vec<Sample> = (0..50)
+///     .map(|i| Sample {
+///         features: Features { oios: i as f64, ..Features::default() },
+///         latency_us: 3.0 * i as f64 + 7.0,
+///     })
+///     .collect();
+/// let lr = LinearRegression::fit(&samples);
+/// let pred = lr.predict(&Features { oios: 10.0, ..Features::default() });
+/// assert!((pred - 37.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearRegression {
+    /// `[intercept, b_wr_ratio, b_oios, b_ios, b_wr_rand, b_rd_rand,
+    /// b_free_space]`.
+    coef: [f64; DIM],
+}
+
+impl LinearRegression {
+    /// Fits by ridge-regularized normal equations (tiny ridge for numeric
+    /// stability with degenerate designs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn fit(samples: &[Sample]) -> Self {
+        assert!(!samples.is_empty(), "cannot fit on an empty sample set");
+        // Accumulate XᵀX and Xᵀy with X = [1, features...].
+        let mut xtx = [[0.0f64; DIM]; DIM];
+        let mut xty = [0.0f64; DIM];
+        for s in samples {
+            let mut row = [0.0f64; DIM];
+            row[0] = 1.0;
+            row[1..].copy_from_slice(&s.features.to_array());
+            for i in 0..DIM {
+                xty[i] += row[i] * s.latency_us;
+                for j in 0..DIM {
+                    xtx[i][j] += row[i] * row[j];
+                }
+            }
+        }
+        // Ridge scaled to the data magnitude keeps the solve stable even
+        // when features are constant within the sample set.
+        let ridge = 1e-8 * samples.len() as f64;
+        for (i, row) in xtx.iter_mut().enumerate() {
+            row[i] += ridge.max(1e-12);
+        }
+        let coef = solve(xtx, xty);
+        LinearRegression { coef }
+    }
+
+    /// Predicted latency for `features`.
+    pub fn predict(&self, features: &Features) -> f64 {
+        let x = features.to_array();
+        self.coef[0]
+            + self
+                .coef[1..]
+                .iter()
+                .zip(x.iter())
+                .map(|(c, v)| c * v)
+                .sum::<f64>()
+    }
+
+    /// The fitted coefficients `[intercept, per-feature...]`.
+    pub fn coefficients(&self) -> &[f64; DIM] {
+        &self.coef
+    }
+}
+
+/// Gaussian elimination with partial pivoting for the (small, SPD-ish)
+/// normal-equation system.
+fn solve(mut a: [[f64; DIM]; DIM], mut b: [f64; DIM]) -> [f64; DIM] {
+    for col in 0..DIM {
+        // Pivot.
+        let mut pivot = col;
+        for row in col + 1..DIM {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        if diag.abs() < 1e-300 {
+            continue; // degenerate direction; ridge keeps this rare
+        }
+        for row in col + 1..DIM {
+            let factor = a[row][col] / diag;
+            for k in col..DIM {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = [0.0f64; DIM];
+    for col in (0..DIM).rev() {
+        let mut acc = b[col];
+        for k in col + 1..DIM {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = if a[col][col].abs() < 1e-300 {
+            0.0
+        } else {
+            acc / a[col][col]
+        };
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvhsm_sim::SimRng;
+
+    #[test]
+    fn recovers_known_coefficients() {
+        let mut rng = SimRng::new(31);
+        let samples: Vec<Sample> = (0..500)
+            .map(|_| {
+                let f = Features {
+                    wr_ratio: rng.uniform(),
+                    oios: rng.uniform() * 64.0,
+                    ios: rng.uniform() * 16.0,
+                    wr_rand: rng.uniform(),
+                    rd_rand: rng.uniform(),
+                    free_space_ratio: rng.uniform(),
+                };
+                Sample {
+                    features: f,
+                    latency_us: 10.0 + 5.0 * f.wr_ratio + 2.0 * f.oios + 1.5 * f.ios
+                        + 8.0 * f.wr_rand
+                        + 12.0 * f.rd_rand
+                        - 20.0 * f.free_space_ratio,
+                }
+            })
+            .collect();
+        let lr = LinearRegression::fit(&samples);
+        let c = lr.coefficients();
+        let expect = [10.0, 5.0, 2.0, 1.5, 8.0, 12.0, -20.0];
+        for (got, want) in c.iter().zip(expect.iter()) {
+            // The stabilizing ridge perturbs coefficients by ~1e-6.
+            assert!((got - want).abs() < 1e-4, "coef {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn noisy_fit_is_close() {
+        let mut rng = SimRng::new(37);
+        let samples: Vec<Sample> = (0..2000)
+            .map(|_| {
+                let f = Features {
+                    oios: rng.uniform() * 32.0,
+                    ..Features::default()
+                };
+                Sample {
+                    features: f,
+                    latency_us: 50.0 + 3.0 * f.oios + rng.normal(0.0, 5.0),
+                }
+            })
+            .collect();
+        let lr = LinearRegression::fit(&samples);
+        let pred = lr.predict(&Features {
+            oios: 16.0,
+            ..Features::default()
+        });
+        assert!((pred - 98.0).abs() < 3.0, "pred {pred}");
+    }
+
+    #[test]
+    fn constant_target_fits_constant() {
+        let samples: Vec<Sample> = (0..10)
+            .map(|i| Sample {
+                features: Features {
+                    oios: i as f64,
+                    ..Features::default()
+                },
+                latency_us: 42.0,
+            })
+            .collect();
+        let lr = LinearRegression::fit(&samples);
+        let pred = lr.predict(&Features {
+            oios: 100.0,
+            ..Features::default()
+        });
+        assert!((pred - 42.0).abs() < 1e-3, "pred {pred}");
+    }
+
+    #[test]
+    fn degenerate_single_sample_does_not_explode() {
+        let samples = [Sample {
+            features: Features::default(),
+            latency_us: 5.0,
+        }];
+        let lr = LinearRegression::fit(&samples);
+        let pred = lr.predict(&Features::default());
+        assert!((pred - 5.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,163 @@
+//! Model validation: k-fold cross-validation and permutation feature
+//! importance.
+//!
+//! The paper argues its training data must be "representative (to span a
+//! wide spectrum) and sufficient (to have an adequate number of tests)";
+//! these utilities are how a user of this library checks both claims on
+//! their own data.
+
+use crate::features::{Dataset, Features, Sample, FEATURE_NAMES, NUM_FEATURES};
+use crate::metrics::rmse;
+use crate::regtree::RegTreeConfig;
+use crate::PerfModel;
+use nvhsm_sim::SimRng;
+
+/// Result of a cross-validation run.
+#[derive(Debug, Clone)]
+pub struct CrossValidation {
+    /// Per-fold RMSE on the held-out fold.
+    pub fold_rmse: Vec<f64>,
+}
+
+impl CrossValidation {
+    /// Mean RMSE across folds.
+    pub fn mean_rmse(&self) -> f64 {
+        self.fold_rmse.iter().sum::<f64>() / self.fold_rmse.len().max(1) as f64
+    }
+
+    /// Largest fold RMSE (the weakest region of the feature space).
+    pub fn worst_rmse(&self) -> f64 {
+        self.fold_rmse.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// Runs `k`-fold cross-validation of the performance model on `data`.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or the dataset has fewer than `k` samples.
+pub fn cross_validate(data: &Dataset, k: usize, cfg: &RegTreeConfig) -> CrossValidation {
+    assert!(k >= 2, "need at least two folds");
+    assert!(data.len() >= k, "need at least k samples");
+    let samples = data.samples();
+    let mut fold_rmse = Vec::with_capacity(k);
+    for fold in 0..k {
+        let train: Dataset = samples
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % k != fold)
+            .map(|(_, &s)| s)
+            .collect();
+        let test: Vec<&Sample> = samples
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % k == fold)
+            .map(|(_, s)| s)
+            .collect();
+        let model = PerfModel::train_with(&train, cfg);
+        fold_rmse.push(rmse(
+            test.iter().map(|s| (model.predict(&s.features), s.latency_us)),
+        ));
+    }
+    CrossValidation { fold_rmse }
+}
+
+/// Permutation importance of each feature: how much the model's RMSE
+/// degrades when that feature's column is shuffled. Returned in
+/// [`FEATURE_NAMES`] order as `(name, rmse_increase)`.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn feature_importance(
+    model: &PerfModel,
+    data: &Dataset,
+    seed: u64,
+) -> Vec<(&'static str, f64)> {
+    assert!(!data.is_empty(), "empty dataset");
+    let samples = data.samples();
+    let base = rmse(
+        samples
+            .iter()
+            .map(|s| (model.predict(&s.features), s.latency_us)),
+    );
+    let mut rng = SimRng::new(seed);
+    let mut out = Vec::with_capacity(NUM_FEATURES);
+    for fi in 0..NUM_FEATURES {
+        // Fisher–Yates permutation of feature column `fi`.
+        let mut column: Vec<f64> = samples.iter().map(|s| s.features.get(fi)).collect();
+        for i in (1..column.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            column.swap(i, j);
+        }
+        let permuted_rmse = rmse(samples.iter().enumerate().map(|(i, s)| {
+            let mut arr = s.features.to_array();
+            arr[fi] = column[i];
+            (model.predict(&Features::from_array(arr)), s.latency_us)
+        }));
+        out.push((FEATURE_NAMES[fi], (permuted_rmse - base).max(0.0)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = SimRng::new(seed);
+        (0..n)
+            .map(|_| {
+                let f = Features {
+                    wr_ratio: rng.uniform(),
+                    oios: rng.uniform() * 16.0,
+                    ios: 1.0 + rng.uniform() * 7.0,
+                    wr_rand: rng.uniform(),
+                    rd_rand: rng.uniform(),
+                    free_space_ratio: rng.uniform(),
+                };
+                Sample {
+                    features: f,
+                    latency_us: 30.0 + 200.0 * f.rd_rand + 5.0 * f.oios,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cross_validation_errors_are_moderate_on_learnable_data() {
+        let data = dataset(400, 1);
+        let cv = cross_validate(&data, 5, &RegTreeConfig::default());
+        assert_eq!(cv.fold_rmse.len(), 5);
+        // Target spans ~30..250; a useful model should be well under the
+        // target's own standard deviation (~60).
+        assert!(cv.mean_rmse() < 30.0, "mean rmse {}", cv.mean_rmse());
+        assert!(cv.worst_rmse() >= cv.mean_rmse());
+    }
+
+    #[test]
+    fn importance_ranks_the_real_drivers_first() {
+        let data = dataset(500, 2);
+        let model = PerfModel::train(&data);
+        let importance = feature_importance(&model, &data, 3);
+        let get = |name: &str| {
+            importance
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        // rd_rand dominates the synthetic target; wr_rand is irrelevant.
+        assert!(
+            get("rd_rand") > get("wr_rand") * 3.0,
+            "importances: {importance:?}"
+        );
+        assert!(get("oios") > get("wr_ratio"), "importances: {importance:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two folds")]
+    fn rejects_single_fold() {
+        let _ = cross_validate(&dataset(10, 4), 1, &RegTreeConfig::default());
+    }
+}

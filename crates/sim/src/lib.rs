@@ -1,0 +1,39 @@
+//! Discrete-event simulation kernel shared by every simulator in the
+//! `nvdimm-hsm` workspace.
+//!
+//! This crate provides the four primitives that the DRAM, flash, cache and
+//! storage-management simulators are built on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — an integer-nanosecond time base with
+//!   saturating arithmetic, so every component in the stack agrees on what
+//!   "now" means.
+//! * [`EventQueue`] — a deterministic time-ordered priority queue (FIFO among
+//!   events that share a timestamp).
+//! * [`SimRng`] — a small, seedable, `SplitMix64`-based random number
+//!   generator plus the distribution helpers the workload generators need
+//!   (exponential inter-arrivals, Zipfian skew, Bernoulli mixes).
+//! * [`stats`] — streaming statistics (Welford mean/variance, log-scale
+//!   latency histograms with percentile queries, windowed time series).
+//!
+//! # Examples
+//!
+//! ```
+//! use nvhsm_sim::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut q = EventQueue::new();
+//! q.push(SimTime::ZERO + SimDuration::from_us(3), "late");
+//! q.push(SimTime::ZERO + SimDuration::from_us(1), "early");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "early");
+//! assert_eq!(t, SimTime::from_ns(1_000));
+//! ```
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use stats::{Histogram, OnlineStats, TimeSeries};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,468 @@
+//! Streaming statistics for simulation measurement.
+//!
+//! Simulations in this workspace produce millions of latency samples; these
+//! collectors keep O(1)–O(log) state per sample: Welford mean/variance
+//! ([`OnlineStats`]), a log-bucketed latency histogram with percentile
+//! queries ([`Histogram`]), and a windowed time series ([`TimeSeries`]) used
+//! to reproduce the paper's "latency every 30 minutes" style plots.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Welford online mean / variance / extrema accumulator.
+///
+/// # Examples
+///
+/// ```
+/// use nvhsm_sim::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0] { s.add(x); }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds a duration sample in microseconds.
+    pub fn add_duration_us(&mut self, d: SimDuration) {
+        self.add(d.as_us_f64());
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Log-bucketed histogram over non-negative values with percentile queries.
+///
+/// Buckets grow geometrically from `min_value` with `BUCKETS_PER_DECADE`
+/// buckets per decade, giving ~2.9 % relative resolution — plenty for latency
+/// distribution shape and tail percentiles.
+///
+/// # Examples
+///
+/// ```
+/// use nvhsm_sim::Histogram;
+/// let mut h = Histogram::new();
+/// for i in 1..=1000 { h.add(i as f64); }
+/// let p50 = h.percentile(50.0);
+/// assert!((400.0..600.0).contains(&p50));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    underflow: u64,
+    total: u64,
+    stats: OnlineStats,
+}
+
+impl Histogram {
+    const MIN_VALUE: f64 = 1.0;
+    const BUCKETS_PER_DECADE: f64 = 80.0;
+    const NUM_BUCKETS: usize = 1040; // 13 decades
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; Self::NUM_BUCKETS],
+            underflow: 0,
+            total: 0,
+            stats: OnlineStats::new(),
+        }
+    }
+
+    fn bucket_of(value: f64) -> Option<usize> {
+        if value < Self::MIN_VALUE {
+            return None;
+        }
+        let idx = (value / Self::MIN_VALUE).log10() * Self::BUCKETS_PER_DECADE;
+        Some((idx as usize).min(Self::NUM_BUCKETS - 1))
+    }
+
+    fn bucket_value(idx: usize) -> f64 {
+        Self::MIN_VALUE * 10f64.powf((idx as f64 + 0.5) / Self::BUCKETS_PER_DECADE)
+    }
+
+    /// Adds one non-negative sample. Negative samples are clamped to zero.
+    pub fn add(&mut self, value: f64) {
+        let value = value.max(0.0);
+        self.total += 1;
+        self.stats.add(value);
+        match Self::bucket_of(value) {
+            Some(i) => self.counts[i] += 1,
+            None => self.underflow += 1,
+        }
+    }
+
+    /// Adds a duration sample in nanoseconds.
+    pub fn add_duration(&mut self, d: SimDuration) {
+        self.add(d.as_ns() as f64);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> Option<f64> {
+        self.stats.max()
+    }
+
+    /// Approximate value at percentile `p` in `[0, 100]`; 0 if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        debug_assert!((0.0..=100.0).contains(&p));
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return 0.0;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(i);
+            }
+        }
+        self.stats.max().unwrap_or(0.0)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.total += other.total;
+        self.stats.merge(&other.stats);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fixed-window time series: accumulates samples into consecutive windows of
+/// simulated time and exposes the per-window means.
+///
+/// This reproduces the paper's measurement style ("we track the latency of
+/// the NVDIMM ... every 30 minutes", Fig. 4/7) at whatever window the
+/// experiment chooses.
+///
+/// # Examples
+///
+/// ```
+/// use nvhsm_sim::{TimeSeries, SimTime, SimDuration};
+/// let mut ts = TimeSeries::new(SimDuration::from_ms(1));
+/// ts.add(SimTime::from_us(100), 10.0);
+/// ts.add(SimTime::from_us(1500), 30.0);
+/// let windows = ts.windows();
+/// assert_eq!(windows.len(), 2);
+/// assert_eq!(windows[0].mean, 10.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    window: SimDuration,
+    slots: Vec<OnlineStats>,
+}
+
+/// One window of a [`TimeSeries`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Window {
+    /// Start of the window.
+    pub start: SimTime,
+    /// Mean of the samples in the window (0 if the window is empty).
+    pub mean: f64,
+    /// Number of samples in the window.
+    pub count: u64,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(window > SimDuration::ZERO, "window must be positive");
+        TimeSeries {
+            window,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Window length.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Adds a sample observed at `time`.
+    pub fn add(&mut self, time: SimTime, value: f64) {
+        let idx = (time.as_ns() / self.window.as_ns()) as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, OnlineStats::new());
+        }
+        self.slots[idx].add(value);
+    }
+
+    /// Per-window summary, one entry per window from t = 0 to the last
+    /// sampled window (empty windows included, with `count == 0`).
+    pub fn windows(&self) -> Vec<Window> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Window {
+                start: SimTime::from_ns(i as u64 * self.window.as_ns()),
+                mean: s.mean(),
+                count: s.count(),
+            })
+            .collect()
+    }
+
+    /// Number of windows recorded so far.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn online_stats_basics() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 20.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.add(x);
+        }
+        for &x in &xs[37..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_sides() {
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        b.add(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let empty = OnlineStats::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn histogram_percentiles_roughly_correct() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000 {
+            h.add(i as f64);
+        }
+        for (p, expect) in [(50.0, 5_000.0), (90.0, 9_000.0), (99.0, 9_900.0)] {
+            let got = h.percentile(p);
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.05, "p{p}: got {got}, expect {expect}");
+        }
+    }
+
+    #[test]
+    fn histogram_handles_small_and_zero() {
+        let mut h = Histogram::new();
+        h.add(0.0);
+        h.add(0.5);
+        h.add(-3.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.add(10.0);
+        b.add(1_000.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.percentile(99.0) > 500.0);
+    }
+
+    #[test]
+    fn time_series_windows() {
+        let mut ts = TimeSeries::new(SimDuration::from_us(10));
+        ts.add(SimTime::from_us(1), 1.0);
+        ts.add(SimTime::from_us(2), 3.0);
+        ts.add(SimTime::from_us(25), 10.0);
+        let w = ts.windows();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].mean, 2.0);
+        assert_eq!(w[0].count, 2);
+        assert_eq!(w[1].count, 0);
+        assert_eq!(w[2].mean, 10.0);
+        assert_eq!(w[2].start, SimTime::from_us(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn time_series_rejects_zero_window() {
+        let _ = TimeSeries::new(SimDuration::ZERO);
+    }
+
+    proptest! {
+        /// Welford mean matches a direct sum within floating tolerance.
+        #[test]
+        fn prop_mean_matches_direct(xs in proptest::collection::vec(-1e6f64..1e6, 1..500)) {
+            let mut s = OnlineStats::new();
+            for &x in &xs {
+                s.add(x);
+            }
+            let direct = xs.iter().sum::<f64>() / xs.len() as f64;
+            prop_assert!((s.mean() - direct).abs() < 1e-6 * (1.0 + direct.abs()));
+        }
+
+        /// Percentile is monotone in p.
+        #[test]
+        fn prop_percentile_monotone(xs in proptest::collection::vec(1.0f64..1e6, 1..300)) {
+            let mut h = Histogram::new();
+            for &x in &xs {
+                h.add(x);
+            }
+            let mut last = 0.0;
+            for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0] {
+                let v = h.percentile(p);
+                prop_assert!(v >= last, "p{p} gave {v} < {last}");
+                last = v;
+            }
+        }
+    }
+}

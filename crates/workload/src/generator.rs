@@ -1,0 +1,299 @@
+//! Turning a [`WorkloadProfile`] into a concrete request stream.
+
+use crate::profile::WorkloadProfile;
+use nvhsm_sim::rng::Zipf;
+use nvhsm_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Direction of a generated request (converted to the device layer's
+/// request type by the storage manager).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GenOp {
+    /// Read.
+    Read,
+    /// Write.
+    Write,
+}
+
+/// One generated request, addressed relative to the workload's VMDK.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GenRequest {
+    /// First block offset within the VMDK.
+    pub offset: u64,
+    /// Request size in 4 KiB blocks.
+    pub size_blocks: u32,
+    /// Read or write.
+    pub op: GenOp,
+}
+
+/// Poisson request generator for one workload.
+///
+/// Produces requests whose empirical characteristics converge to the
+/// profile's parameters — that convergence is what the tests check, since
+/// the performance model's features are measured from exactly these
+/// streams.
+///
+/// # Examples
+///
+/// ```
+/// use nvhsm_workload::{IoGenerator, WorkloadProfile};
+/// use nvhsm_sim::SimRng;
+///
+/// let mut g = IoGenerator::new(WorkloadProfile::default(), SimRng::new(1));
+/// let (t1, _) = g.next_request();
+/// let (t2, _) = g.next_request();
+/// assert!(t2 > t1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IoGenerator {
+    profile: WorkloadProfile,
+    rng: SimRng,
+    clock: SimTime,
+    read_cursor: u64,
+    write_cursor: u64,
+    zipf: Option<Zipf>,
+    /// Random phase offset so concurrent workloads do not pulse in step.
+    phase_offset: f64,
+}
+
+impl IoGenerator {
+    /// Builds a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`WorkloadProfile::validate`].
+    pub fn new(profile: WorkloadProfile, mut rng: SimRng) -> Self {
+        profile.validate().expect("invalid workload profile");
+        let zipf = (profile.zipf_theta > 0.0).then(|| {
+            // Cap the Zipf table so huge working sets stay cheap; the tail
+            // beyond the table is sampled uniformly.
+            let n = profile.working_set_blocks.min(1 << 20) as usize;
+            Zipf::new(n, profile.zipf_theta)
+        });
+        let read_cursor = rng.below(profile.working_set_blocks);
+        let write_cursor = rng.below(profile.working_set_blocks);
+        let phase_offset = rng.uniform() * std::f64::consts::TAU;
+        IoGenerator {
+            profile,
+            rng,
+            clock: SimTime::ZERO,
+            read_cursor,
+            write_cursor,
+            zipf,
+            phase_offset,
+        }
+    }
+
+    /// Instantaneous rate multiplier from the intensity phase (MapReduce
+    /// stages alternate between I/O-heavy and compute-heavy).
+    fn phase_factor(&self) -> f64 {
+        if self.profile.phase_period_s <= 0.0 || self.profile.phase_amplitude <= 0.0 {
+            return 1.0;
+        }
+        let t = self.clock.as_secs_f64() / self.profile.phase_period_s;
+        1.0 + self.profile.phase_amplitude * (std::f64::consts::TAU * t + self.phase_offset).sin()
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Rescales the arrival rate mid-run (phase changes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iops` is not positive and finite.
+    pub fn set_iops(&mut self, iops: f64) {
+        assert!(iops > 0.0 && iops.is_finite(), "invalid iops");
+        self.profile.iops = iops;
+    }
+
+    fn random_offset(&mut self) -> u64 {
+        let ws = self.profile.working_set_blocks;
+        match &self.zipf {
+            Some(z) => {
+                let idx = z.sample(&mut self.rng) as u64;
+                // Spread the hot indices across the working set
+                // deterministically so "hot" isn't simply "first blocks".
+                (idx * 0x9E37_79B9 + 7) % ws
+            }
+            None => self.rng.below(ws),
+        }
+    }
+
+    fn draw_size(&mut self) -> u32 {
+        // Two-point mix of 1-block and max-size requests hitting the
+        // profile's mean: p·max + (1-p)·1 = mean.
+        let max = self.profile.max_size_blocks;
+        if max == 1 {
+            return 1;
+        }
+        let p = (self.profile.mean_size_blocks - 1.0) / (max as f64 - 1.0);
+        if self.rng.chance(p) {
+            max
+        } else {
+            1
+        }
+    }
+
+    /// Draws the next request and its arrival time (strictly increasing).
+    pub fn next_request(&mut self) -> (SimTime, GenRequest) {
+        let rate = (self.profile.iops * self.phase_factor()).max(1.0);
+        let gap_ns = self.rng.exponential(1e9 / rate).max(1.0);
+        self.clock = self.clock + SimDuration::from_ns_f64(gap_ns);
+
+        let is_write = self.rng.chance(self.profile.wr_ratio);
+        let size = self.draw_size();
+        let ws = self.profile.working_set_blocks;
+        let (op, offset) = if is_write {
+            let off = if self.rng.chance(self.profile.wr_rand) {
+                self.random_offset()
+            } else {
+                self.write_cursor
+            };
+            self.write_cursor = (off + size as u64) % ws;
+            (GenOp::Write, off)
+        } else {
+            let off = if self.rng.chance(self.profile.rd_rand) {
+                self.random_offset()
+            } else {
+                self.read_cursor
+            };
+            self.read_cursor = (off + size as u64) % ws;
+            (GenOp::Read, off)
+        };
+        // Clamp so the request fits inside the VMDK.
+        let offset = offset.min(ws.saturating_sub(size as u64));
+        (
+            self.clock,
+            GenRequest {
+                offset,
+                size_blocks: size,
+                op,
+            },
+        )
+    }
+
+    /// Time of the most recently produced request.
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Skips the generator's clock forward to `at` (idle phase).
+    pub fn fast_forward(&mut self, at: SimTime) {
+        self.clock = self.clock.max(at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(profile: WorkloadProfile, n: usize) -> Vec<(SimTime, GenRequest)> {
+        let mut g = IoGenerator::new(profile, SimRng::new(11));
+        (0..n).map(|_| g.next_request()).collect()
+    }
+
+    #[test]
+    fn realized_write_ratio_matches_profile() {
+        let p = WorkloadProfile {
+            wr_ratio: 0.25,
+            ..WorkloadProfile::default()
+        };
+        let reqs = collect(p, 40_000);
+        let writes = reqs
+            .iter()
+            .filter(|(_, r)| r.op == GenOp::Write)
+            .count();
+        let frac = writes as f64 / reqs.len() as f64;
+        assert!((frac - 0.25).abs() < 0.02, "write frac {frac}");
+    }
+
+    #[test]
+    fn realized_rate_matches_profile() {
+        let p = WorkloadProfile {
+            iops: 2_000.0,
+            phase_amplitude: 0.0,
+            ..WorkloadProfile::default()
+        };
+        let reqs = collect(p, 20_000);
+        let span = reqs.last().unwrap().0.as_secs_f64();
+        let rate = reqs.len() as f64 / span;
+        assert!((rate - 2_000.0).abs() / 2_000.0 < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn realized_mean_size_matches_profile() {
+        let p = WorkloadProfile {
+            mean_size_blocks: 3.0,
+            max_size_blocks: 9,
+            ..WorkloadProfile::default()
+        };
+        let reqs = collect(p, 40_000);
+        let mean =
+            reqs.iter().map(|(_, r)| r.size_blocks as f64).sum::<f64>() / reqs.len() as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean size {mean}");
+    }
+
+    #[test]
+    fn sequential_profile_walks_sequentially() {
+        let p = WorkloadProfile {
+            wr_ratio: 0.0,
+            rd_rand: 0.0,
+            mean_size_blocks: 1.0,
+            max_size_blocks: 1,
+            zipf_theta: 0.0,
+            ..WorkloadProfile::default()
+        };
+        let reqs = collect(p, 100);
+        for w in reqs.windows(2) {
+            let (_, a) = w[0];
+            let (_, b) = w[1];
+            let expect = (a.offset + 1) % WorkloadProfile::default().working_set_blocks;
+            assert_eq!(b.offset, expect);
+        }
+    }
+
+    #[test]
+    fn offsets_stay_inside_working_set() {
+        let p = WorkloadProfile {
+            working_set_blocks: 500,
+            max_size_blocks: 16,
+            mean_size_blocks: 8.0,
+            ..WorkloadProfile::default()
+        };
+        let reqs = collect(p, 10_000);
+        for (_, r) in reqs {
+            assert!(r.offset + r.size_blocks as u64 <= 500);
+        }
+    }
+
+    #[test]
+    fn zipf_concentrates_random_reads() {
+        let p = WorkloadProfile {
+            wr_ratio: 0.0,
+            rd_rand: 1.0,
+            zipf_theta: 0.99,
+            working_set_blocks: 10_000,
+            ..WorkloadProfile::default()
+        };
+        let reqs = collect(p, 30_000);
+        let mut counts = std::collections::HashMap::new();
+        for (_, r) in &reqs {
+            *counts.entry(r.offset).or_insert(0u64) += 1;
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top_share: u64 = freqs.iter().take(100).sum();
+        let share = top_share as f64 / reqs.len() as f64;
+        assert!(share > 0.3, "top-100 share {share}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = collect(WorkloadProfile::default(), 100);
+        let b = collect(WorkloadProfile::default(), 100);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,240 @@
+//! The eight HiBench big-data workload profiles of the paper's Table 5.
+//!
+//! HiBench jobs are MapReduce pipelines; their storage-level behaviour is
+//! what matters here. The profiles below encode the qualitative I/O
+//! signatures the paper relies on (dfsioe_r/dfsioe_w as streaming
+//! throughput tests, sort/wordcount as large sequential shuffles, bayes/
+//! kmeans/pagerank/nutchindexing as mixed iterative jobs), with working
+//! sets scaled from Table 5's dataset sizes by a common factor so a full
+//! heterogeneous node can be simulated in seconds. All relative magnitudes
+//! between benchmarks are preserved.
+
+use crate::profile::WorkloadProfile;
+use serde::{Deserialize, Serialize};
+
+/// The eight big-data benchmarks of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// Naive Bayes training: 100 000 pages, 100 classes.
+    Bayes,
+    /// DFSIO read throughput: 2 500 files × 10 MB.
+    DfsioeR,
+    /// DFSIO write throughput: 2 500 files × 10 MB.
+    DfsioeW,
+    /// K-means clustering: 300 000 samples, 20 dimensions.
+    Kmeans,
+    /// Nutch indexing: 100 000 pages.
+    NutchIndexing,
+    /// PageRank: 500 000 pages.
+    Pagerank,
+    /// Sort: 2 400 000 records.
+    Sort,
+    /// WordCount: 3 200 000 records.
+    Wordcount,
+}
+
+impl Benchmark {
+    /// All eight, in Table 5 order.
+    pub const ALL: [Benchmark; 8] = [
+        Benchmark::Bayes,
+        Benchmark::DfsioeR,
+        Benchmark::DfsioeW,
+        Benchmark::Kmeans,
+        Benchmark::NutchIndexing,
+        Benchmark::Pagerank,
+        Benchmark::Sort,
+        Benchmark::Wordcount,
+    ];
+
+    /// Lower-case HiBench name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Bayes => "bayes",
+            Benchmark::DfsioeR => "dfsioe_r",
+            Benchmark::DfsioeW => "dfsioe_w",
+            Benchmark::Kmeans => "kmeans",
+            Benchmark::NutchIndexing => "nutchindexing",
+            Benchmark::Pagerank => "pagerank",
+            Benchmark::Sort => "sort",
+            Benchmark::Wordcount => "wordcount",
+        }
+    }
+}
+
+/// Working-set scale: blocks per "Table 5 size unit". Keeps eight VMDKs +
+/// devices within test-friendly sizes while preserving relative footprints.
+const MB: u64 = 256; // blocks per MiB
+
+/// The I/O profile of one benchmark.
+///
+/// # Examples
+///
+/// ```
+/// use nvhsm_workload::hibench::{profile, Benchmark};
+/// let p = profile(Benchmark::DfsioeR);
+/// assert!(p.wr_ratio < 0.2);   // read-throughput test
+/// assert!(p.rd_rand < 0.2);    // streaming
+/// ```
+pub fn profile(benchmark: Benchmark) -> WorkloadProfile {
+    let base = WorkloadProfile::default();
+    match benchmark {
+        // Model training: read-mostly, moderately random page accesses over
+        // a medium corpus, small requests.
+        Benchmark::Bayes => WorkloadProfile {
+            name: "bayes".into(),
+            wr_ratio: 0.20,
+            rd_rand: 0.65,
+            wr_rand: 0.50,
+            mean_size_blocks: 2.0,
+            max_size_blocks: 8,
+            iops: 700.0,
+            working_set_blocks: 96 * MB,
+            zipf_theta: 0.9,
+            ..base.clone()
+        },
+        // Streaming read throughput test: large sequential reads.
+        Benchmark::DfsioeR => WorkloadProfile {
+            name: "dfsioe_r".into(),
+            wr_ratio: 0.05,
+            rd_rand: 0.05,
+            wr_rand: 0.30,
+            mean_size_blocks: 12.0,
+            max_size_blocks: 16,
+            iops: 900.0,
+            working_set_blocks: 160 * MB,
+            zipf_theta: 0.0,
+            ..base.clone()
+        },
+        // Streaming write throughput test: large sequential writes.
+        Benchmark::DfsioeW => WorkloadProfile {
+            name: "dfsioe_w".into(),
+            wr_ratio: 0.90,
+            rd_rand: 0.20,
+            wr_rand: 0.05,
+            mean_size_blocks: 12.0,
+            max_size_blocks: 16,
+            iops: 900.0,
+            working_set_blocks: 160 * MB,
+            zipf_theta: 0.0,
+            ..base.clone()
+        },
+        // Iterative clustering: sequential scans of the sample matrix with
+        // small writes of centroids.
+        Benchmark::Kmeans => WorkloadProfile {
+            name: "kmeans".into(),
+            wr_ratio: 0.10,
+            rd_rand: 0.25,
+            wr_rand: 0.60,
+            mean_size_blocks: 6.0,
+            max_size_blocks: 16,
+            iops: 800.0,
+            working_set_blocks: 128 * MB,
+            zipf_theta: 0.3,
+            ..base.clone()
+        },
+        // Indexing: write-heavy with random index updates.
+        Benchmark::NutchIndexing => WorkloadProfile {
+            name: "nutchindexing".into(),
+            wr_ratio: 0.60,
+            rd_rand: 0.70,
+            wr_rand: 0.75,
+            mean_size_blocks: 2.0,
+            max_size_blocks: 4,
+            iops: 650.0,
+            working_set_blocks: 96 * MB,
+            zipf_theta: 0.8,
+            ..base.clone()
+        },
+        // Graph iteration: random reads over the link structure.
+        Benchmark::Pagerank => WorkloadProfile {
+            name: "pagerank".into(),
+            wr_ratio: 0.25,
+            rd_rand: 0.85,
+            wr_rand: 0.40,
+            mean_size_blocks: 1.5,
+            max_size_blocks: 4,
+            iops: 750.0,
+            working_set_blocks: 192 * MB,
+            zipf_theta: 1.0,
+            ..base.clone()
+        },
+        // Shuffle-heavy sort: balanced mix, large sequential runs.
+        Benchmark::Sort => WorkloadProfile {
+            name: "sort".into(),
+            wr_ratio: 0.45,
+            rd_rand: 0.15,
+            wr_rand: 0.15,
+            mean_size_blocks: 10.0,
+            max_size_blocks: 16,
+            iops: 850.0,
+            working_set_blocks: 224 * MB,
+            zipf_theta: 0.0,
+            ..base.clone()
+        },
+        // Map-heavy wordcount: sequential reads, few small writes.
+        Benchmark::Wordcount => WorkloadProfile {
+            name: "wordcount".into(),
+            wr_ratio: 0.12,
+            rd_rand: 0.10,
+            wr_rand: 0.40,
+            mean_size_blocks: 8.0,
+            max_size_blocks: 16,
+            iops: 800.0,
+            working_set_blocks: 256 * MB,
+            zipf_theta: 0.2,
+            ..base
+        },
+    }
+}
+
+/// All eight profiles, Table 5 order.
+pub fn all_profiles() -> Vec<WorkloadProfile> {
+    Benchmark::ALL.iter().map(|&b| profile(b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_valid_and_named() {
+        for b in Benchmark::ALL {
+            let p = profile(b);
+            p.validate().unwrap();
+            assert_eq!(p.name, b.name());
+        }
+        assert_eq!(all_profiles().len(), 8);
+    }
+
+    #[test]
+    fn profiles_span_the_feature_space() {
+        let ps = all_profiles();
+        let wr: Vec<f64> = ps.iter().map(|p| p.wr_ratio).collect();
+        let rr: Vec<f64> = ps.iter().map(|p| p.rd_rand).collect();
+        let max = |v: &[f64]| v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max(&wr) - min(&wr) > 0.5, "write ratios too uniform");
+        assert!(max(&rr) - min(&rr) > 0.5, "read randomness too uniform");
+    }
+
+    #[test]
+    fn dfsioe_pair_mirrors_read_write() {
+        let r = profile(Benchmark::DfsioeR);
+        let w = profile(Benchmark::DfsioeW);
+        assert!(r.wr_ratio < 0.1 && w.wr_ratio > 0.8);
+        assert_eq!(r.working_set_blocks, w.working_set_blocks);
+    }
+
+    #[test]
+    fn working_sets_scale_with_table5_sizes() {
+        // wordcount (3.2 M records) > sort (2.4 M) > bayes (100 k pages).
+        assert!(
+            profile(Benchmark::Wordcount).working_set_blocks
+                > profile(Benchmark::Sort).working_set_blocks
+        );
+        assert!(
+            profile(Benchmark::Sort).working_set_blocks
+                > profile(Benchmark::Bayes).working_set_blocks
+        );
+    }
+}

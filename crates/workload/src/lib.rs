@@ -1,0 +1,43 @@
+//! Workload generation: big-data I/O profiles and SPEC-like memory traffic.
+//!
+//! The paper evaluates on eight HiBench big-data applications (Table 5)
+//! mixed with one of three SPEC CPU2006 memory-intensive programs
+//! (429.mcf, 470.lbm, 433.milc, chosen by RPKI/WPKI). Running Hadoop or
+//! SPEC binaries is out of scope for a simulator-only reproduction; what
+//! the paper's management layer actually consumes is:
+//!
+//! * per-workload *I/O request streams* characterized by the Eq. 2 feature
+//!   vector (read/write mix, randomness, request sizes, arrival rate,
+//!   working-set size), and
+//! * per-SPEC-program *memory intensity over time* (the periodic
+//!   fluctuation of Fig. 4 driven by RPKI/WPKI and phase behaviour).
+//!
+//! This crate generates exactly those: [`hibench`] provides the eight
+//! profiles, [`spec`] the three memory-traffic phase generators, and
+//! [`synthetic`] the parameterized trainer streams used to fit the
+//! performance model (the paper uses Intel's Open Storage Toolkit for the
+//! same purpose).
+//!
+//! # Examples
+//!
+//! ```
+//! use nvhsm_workload::hibench::{profile, Benchmark};
+//! use nvhsm_workload::IoGenerator;
+//! use nvhsm_sim::SimRng;
+//!
+//! let mut g = IoGenerator::new(profile(Benchmark::Sort), SimRng::new(1));
+//! let (when, req) = g.next_request();
+//! assert!(req.size_blocks >= 1);
+//! assert!(when > nvhsm_sim::SimTime::ZERO);
+//! ```
+
+pub mod generator;
+pub mod hibench;
+pub mod profile;
+pub mod spec;
+pub mod synthetic;
+
+pub use generator::{GenOp, GenRequest, IoGenerator};
+pub use profile::WorkloadProfile;
+pub use spec::{SpecProgram, SpecTraffic};
+pub use synthetic::SyntheticSpec;

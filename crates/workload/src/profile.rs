@@ -1,0 +1,164 @@
+//! Workload profile: the parameter set that characterizes one I/O stream.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one workload's I/O behaviour.
+///
+/// These are the knobs that span the paper's Eq. 2 feature space; a
+/// [`crate::IoGenerator`] turns a profile into a concrete request stream.
+///
+/// # Examples
+///
+/// ```
+/// use nvhsm_workload::WorkloadProfile;
+/// let p = WorkloadProfile::default().with_name("probe");
+/// assert_eq!(p.name, "probe");
+/// p.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Human-readable name.
+    pub name: String,
+    /// Fraction of writes among requests.
+    pub wr_ratio: f64,
+    /// Fraction of reads that jump to a random offset.
+    pub rd_rand: f64,
+    /// Fraction of writes that jump to a random offset.
+    pub wr_rand: f64,
+    /// Mean request size in 4 KiB blocks (geometric-ish mix of 1 and
+    /// `max_size_blocks`).
+    pub mean_size_blocks: f64,
+    /// Largest request size in blocks.
+    pub max_size_blocks: u32,
+    /// Mean arrival rate in requests per second.
+    pub iops: f64,
+    /// Working set in 4 KiB blocks (also the VMDK size the workload needs).
+    pub working_set_blocks: u64,
+    /// Zipf skew of random accesses (0 = uniform); hot blocks make the
+    /// NVDIMM buffer cache meaningful.
+    pub zipf_theta: f64,
+    /// Intensity-phase period (MapReduce-style stage alternation); zero
+    /// disables phasing.
+    pub phase_period_s: f64,
+    /// Intensity-phase amplitude in [0, 1): instantaneous rate swings
+    /// between `iops·(1−a)` and `iops·(1+a)`.
+    pub phase_amplitude: f64,
+}
+
+impl WorkloadProfile {
+    /// Renames the profile.
+    pub fn with_name(mut self, name: &str) -> Self {
+        self.name = name.to_owned();
+        self
+    }
+
+    /// Scales the arrival rate.
+    pub fn with_iops(mut self, iops: f64) -> Self {
+        self.iops = iops;
+        self
+    }
+
+    /// Scales the working set.
+    pub fn with_working_set(mut self, blocks: u64) -> Self {
+        self.working_set_blocks = blocks;
+        self
+    }
+
+    /// Checks parameter sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("wr_ratio", self.wr_ratio),
+            ("rd_rand", self.rd_rand),
+            ("wr_rand", self.wr_rand),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0,1], got {v}"));
+            }
+        }
+        if self.iops <= 0.0 || !self.iops.is_finite() {
+            return Err("iops must be positive and finite".into());
+        }
+        if self.working_set_blocks == 0 {
+            return Err("working set must be non-empty".into());
+        }
+        if self.max_size_blocks == 0 {
+            return Err("max_size_blocks must be at least 1".into());
+        }
+        if self.mean_size_blocks < 1.0 || self.mean_size_blocks > self.max_size_blocks as f64 {
+            return Err("mean_size_blocks must be in [1, max_size_blocks]".into());
+        }
+        if self.zipf_theta < 0.0 || !self.zipf_theta.is_finite() {
+            return Err("zipf_theta must be non-negative".into());
+        }
+        if self.phase_period_s < 0.0 || !self.phase_period_s.is_finite() {
+            return Err("phase_period_s must be non-negative".into());
+        }
+        if !(0.0..1.0).contains(&self.phase_amplitude) {
+            return Err("phase_amplitude must be in [0, 1)".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for WorkloadProfile {
+    fn default() -> Self {
+        WorkloadProfile {
+            name: "default".to_owned(),
+            wr_ratio: 0.3,
+            rd_rand: 0.5,
+            wr_rand: 0.5,
+            mean_size_blocks: 2.0,
+            max_size_blocks: 8,
+            iops: 500.0,
+            working_set_blocks: 64 * 1024, // 256 MiB
+            zipf_theta: 0.8,
+            phase_period_s: 3.0,
+            phase_amplitude: 0.6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        WorkloadProfile::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut p = WorkloadProfile::default();
+        p.wr_ratio = 1.5;
+        assert!(p.validate().is_err());
+
+        let mut p = WorkloadProfile::default();
+        p.iops = 0.0;
+        assert!(p.validate().is_err());
+
+        let mut p = WorkloadProfile::default();
+        p.working_set_blocks = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = WorkloadProfile::default();
+        p.mean_size_blocks = 100.0;
+        p.max_size_blocks = 8;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let p = WorkloadProfile::default()
+            .with_name("x")
+            .with_iops(42.0)
+            .with_working_set(1000);
+        assert_eq!(p.name, "x");
+        assert_eq!(p.iops, 42.0);
+        assert_eq!(p.working_set_blocks, 1000);
+    }
+}

@@ -1,0 +1,119 @@
+//! Synthetic model-training workloads.
+//!
+//! The paper trains its performance model on traces from a synthetic I/O
+//! workload generator (Intel's Open Storage Toolkit) spanning the Eq. 2
+//! feature space. [`SyntheticSpec`] is our equivalent: it enumerates a
+//! grid over the feature knobs and yields a [`WorkloadProfile`] per point,
+//! so the training pipeline can drive the device with known
+//! characteristics and record the resulting latency.
+
+use crate::profile::WorkloadProfile;
+use serde::{Deserialize, Serialize};
+
+/// A point in the workload-characteristics space used for training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticSpec {
+    /// Write fraction.
+    pub wr_ratio: f64,
+    /// Random fraction of reads.
+    pub rd_rand: f64,
+    /// Random fraction of writes.
+    pub wr_rand: f64,
+    /// Request size in 4 KiB blocks.
+    pub size_blocks: u32,
+    /// Arrival rate.
+    pub iops: f64,
+}
+
+impl SyntheticSpec {
+    /// Converts the spec into a runnable profile over `working_set_blocks`.
+    pub fn to_profile(self, working_set_blocks: u64) -> WorkloadProfile {
+        WorkloadProfile {
+            name: format!(
+                "synth_w{:.0}_rr{:.0}_s{}_q{:.0}",
+                self.wr_ratio * 100.0,
+                self.rd_rand * 100.0,
+                self.size_blocks,
+                self.iops
+            ),
+            wr_ratio: self.wr_ratio,
+            rd_rand: self.rd_rand,
+            wr_rand: self.wr_rand,
+            mean_size_blocks: self.size_blocks as f64,
+            max_size_blocks: self.size_blocks,
+            iops: self.iops,
+            working_set_blocks,
+            zipf_theta: 0.0,
+            // Training streams are stationary: the model maps features to
+            // latency; phases would only add epoch-level noise.
+            phase_period_s: 0.0,
+            phase_amplitude: 0.0,
+        }
+    }
+}
+
+/// The default training grid: 3 write ratios × 3 read randomnesses ×
+/// 2 sizes × 3 rates = 54 points, spanning the Eq. 2 space the way the
+/// paper's "five access patterns × storage condition" sweep does.
+///
+/// # Examples
+///
+/// ```
+/// use nvhsm_workload::synthetic::training_grid;
+/// let grid = training_grid();
+/// assert!(grid.len() >= 50);
+/// ```
+pub fn training_grid() -> Vec<SyntheticSpec> {
+    let mut out = Vec::new();
+    for &wr_ratio in &[0.1, 0.5, 0.9] {
+        for &rd_rand in &[0.0, 0.5, 1.0] {
+            for &size_blocks in &[1u32, 8] {
+                for &iops in &[300.0, 1200.0, 4000.0] {
+                    out.push(SyntheticSpec {
+                        wr_ratio,
+                        rd_rand,
+                        wr_rand: rd_rand, // sweep randomness jointly
+                        size_blocks,
+                        iops,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_size_and_validity() {
+        let grid = training_grid();
+        assert_eq!(grid.len(), 54);
+        for spec in grid {
+            spec.to_profile(10_000).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn grid_spans_extremes() {
+        let grid = training_grid();
+        assert!(grid.iter().any(|s| s.wr_ratio <= 0.1 && s.rd_rand <= 0.0));
+        assert!(grid.iter().any(|s| s.wr_ratio >= 0.9 && s.rd_rand >= 1.0));
+        assert!(grid.iter().any(|s| s.iops >= 4000.0));
+    }
+
+    #[test]
+    fn profile_name_encodes_parameters() {
+        let spec = SyntheticSpec {
+            wr_ratio: 0.5,
+            rd_rand: 1.0,
+            wr_rand: 1.0,
+            size_blocks: 8,
+            iops: 1200.0,
+        };
+        let p = spec.to_profile(1000);
+        assert_eq!(p.name, "synth_w50_rr100_s8_q1200");
+    }
+}

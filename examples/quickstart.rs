@@ -1,0 +1,58 @@
+//! Quickstart: one server node with NVDIMM + SSD + HDD, two big-data
+//! workloads, and the paper's bus-contention-aware manager.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use nvdimm_hsm::core::{NodeConfig, NodeSim, PolicyKind};
+use nvdimm_hsm::workload::hibench::{profile, Benchmark};
+use nvdimm_hsm::workload::SpecProgram;
+
+fn main() {
+    // A laptop-scale node: 1 GiB NVDIMM (Table 4 timing), 2 GiB SSD,
+    // 4 GiB HDD, managed with BCA + lazy migration + architectural
+    // optimization, next to a 429.mcf-like memory hog.
+    let mut cfg = NodeConfig::small();
+    cfg.policy = PolicyKind::BcaLazyArch;
+    cfg.spec = Some(SpecProgram::Mcf429);
+
+    let mut sim = NodeSim::new(cfg, 42);
+    for bench in [Benchmark::Sort, Benchmark::Pagerank, Benchmark::Bayes] {
+        let p = profile(bench);
+        let scaled = p.working_set_blocks / 16;
+        let id = sim.add_workload(p.with_working_set(scaled));
+        println!("placed {bench:?} as {id}");
+    }
+
+    let report = sim.run_secs(4);
+
+    println!("\n== after 4 virtual seconds ==");
+    println!("requests served : {}", report.io_count);
+    println!("mean latency    : {:.1} µs", report.mean_latency_us);
+    println!(
+        "migrations      : {} started, {} completed",
+        report.migrations_started, report.migrations_completed
+    );
+    for d in &report.devices {
+        println!(
+            "  {:6} node{} — {:6} IOs @ {:8.1} µs",
+            d.kind.to_string(),
+            d.node,
+            d.io_count,
+            d.mean_latency_us
+        );
+    }
+    println!("\nNVDIMM latency per epoch (µs):");
+    let series: Vec<String> = report
+        .nvdimm_latency_series
+        .iter()
+        .map(|l| format!("{l:.0}"))
+        .collect();
+    println!("  {}", series.join(" "));
+    println!("bus utilization per epoch:");
+    let util: Vec<String> = report
+        .bus_utilization_series
+        .iter()
+        .map(|u| format!("{u:.2}"))
+        .collect();
+    println!("  {}", util.join(" "));
+}

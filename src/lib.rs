@@ -1,0 +1,49 @@
+//! # nvdimm-hsm
+//!
+//! A from-scratch Rust reproduction of *"Towards Efficient NVDIMM-based
+//! Heterogeneous Storage Hierarchy Management for Big Data Workloads"*
+//! (MICRO-52, 2019).
+//!
+//! This facade crate re-exports the whole workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`sim`] — discrete-event simulation kernel (time, events, RNG, stats).
+//! * [`mem`] — DDR3 DRAM + shared memory-bus model (the source of the
+//!   paper's bus contention).
+//! * [`flash`] — NAND flash, page-level FTL with garbage collection, and the
+//!   migration-aware controller scheduling policies of §5.3.1.
+//! * [`cache`] — LRFU buffer cache and the migration bypass of §5.3.2.
+//! * [`device`] — NVDIMM / PCIe-SSD / SATA-HDD storage device models.
+//! * [`model`] — the black-box performance model (regression tree over
+//!   linear fits) and bus-contention estimator of §4.
+//! * [`workload`] — HiBench-like big-data I/O profiles and SPEC-like memory
+//!   traffic generators.
+//! * [`core`] — the storage manager: bus-contention-aware placement and
+//!   balancing, lazy migration, the BASIL/Pesto/LightSRM baselines, and
+//!   single-node/cluster simulation loops.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nvdimm_hsm::core::{NodeConfig, NodeSim, PolicyKind};
+//! use nvdimm_hsm::workload::hibench;
+//!
+//! // One server node with NVDIMM + SSD + HDD, running two big-data
+//! // workloads under the paper's bus-contention-aware manager.
+//! let mut cfg = NodeConfig::small();
+//! cfg.policy = PolicyKind::BcaLazy;
+//! let mut sim = NodeSim::new(cfg, 42);
+//! sim.add_workload(hibench::profile(hibench::Benchmark::Sort));
+//! sim.add_workload(hibench::profile(hibench::Benchmark::Bayes));
+//! let report = sim.run_secs(2);
+//! assert!(report.io_count > 0);
+//! ```
+
+pub use nvhsm_cache as cache;
+pub use nvhsm_core as core;
+pub use nvhsm_device as device;
+pub use nvhsm_flash as flash;
+pub use nvhsm_mem as mem;
+pub use nvhsm_model as model;
+pub use nvhsm_sim as sim;
+pub use nvhsm_workload as workload;

@@ -1,0 +1,112 @@
+//! Cross-crate integration: the full node simulation driven through the
+//! facade crate's public API.
+
+use nvdimm_hsm::core::{NodeConfig, NodeSim, PolicyKind};
+use nvdimm_hsm::workload::hibench::{profile, Benchmark};
+use nvdimm_hsm::workload::SpecProgram;
+
+fn quick_cfg(policy: PolicyKind) -> NodeConfig {
+    let mut cfg = NodeConfig::small();
+    cfg.policy = policy;
+    cfg.train_requests = 30;
+    cfg
+}
+
+fn scaled(b: Benchmark) -> nvdimm_hsm::workload::WorkloadProfile {
+    let p = profile(b);
+    let blocks = p.working_set_blocks / 16;
+    p.with_working_set(blocks)
+}
+
+#[test]
+fn every_policy_serves_io_end_to_end() {
+    for policy in PolicyKind::ALL {
+        let mut sim = NodeSim::new(quick_cfg(policy), 3);
+        sim.add_workload(scaled(Benchmark::Sort));
+        sim.add_workload(scaled(Benchmark::Bayes));
+        let report = sim.run_secs(2);
+        assert!(report.io_count > 1_000, "{policy}: {}", report.io_count);
+        assert!(report.mean_latency_us > 0.0, "{policy}");
+        // Per-device IO adds up to the total.
+        let sum: u64 = report.devices.iter().map(|d| d.io_count).sum();
+        assert_eq!(sum, report.io_count, "{policy}");
+    }
+}
+
+#[test]
+fn same_seed_same_report() {
+    let run = || {
+        let mut sim = NodeSim::new(quick_cfg(PolicyKind::BcaLazy), 99);
+        sim.add_workload(scaled(Benchmark::Pagerank));
+        sim.add_workload(scaled(Benchmark::Wordcount));
+        sim.run_secs(2)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.io_count, b.io_count);
+    assert_eq!(a.migrations_started, b.migrations_started);
+    assert!((a.mean_latency_us - b.mean_latency_us).abs() < 1e-9);
+}
+
+#[test]
+fn interference_slows_the_nvdimm() {
+    let run = |spec: Option<SpecProgram>| {
+        let mut cfg = quick_cfg(PolicyKind::Basil);
+        cfg.tau = 1.0; // observation only
+        cfg.spec = spec;
+        let mut sim = NodeSim::new(cfg, 11);
+        sim.add_workload_on(scaled(Benchmark::Bayes), 0); // NVDIMM
+        sim.run_secs(2)
+    };
+    let quiet = run(None);
+    let noisy = run(Some(SpecProgram::Mcf429));
+    assert!(
+        noisy.devices[0].mean_latency_us > quiet.devices[0].mean_latency_us * 1.3,
+        "contention effect missing: {} vs {}",
+        noisy.devices[0].mean_latency_us,
+        quiet.devices[0].mean_latency_us
+    );
+}
+
+#[test]
+fn overloaded_hdd_resident_gets_rescued() {
+    let mut cfg = quick_cfg(PolicyKind::Bca);
+    cfg.tau = 0.3;
+    let mut sim = NodeSim::new(cfg, 5);
+    let v = sim.add_workload_on(scaled(Benchmark::Pagerank), 2); // HDD
+    sim.run_secs(6);
+    let placement = sim.placement_of(v).expect("vmdk exists");
+    assert_ne!(placement, 2, "random workload still stranded on the HDD");
+}
+
+#[test]
+fn cluster_crosses_nodes() {
+    let mut sim = NodeSim::with_nodes(quick_cfg(PolicyKind::Pesto), 3, 17);
+    let mut placements = std::collections::HashSet::new();
+    for b in [
+        Benchmark::Sort,
+        Benchmark::Bayes,
+        Benchmark::Kmeans,
+        Benchmark::Pagerank,
+        Benchmark::Wordcount,
+    ] {
+        let v = sim.add_workload(scaled(b));
+        placements.insert(sim.placement_of(v).unwrap());
+    }
+    // Random placement spreads the five VMDKs over several datastores.
+    assert!(placements.len() >= 2, "all VMDKs on one datastore");
+    let report = sim.run_secs(2);
+    assert_eq!(report.devices.len(), 9);
+    assert!(report.io_count > 1_000);
+}
+
+#[test]
+fn metrics_reset_clears_counters_keeps_state() {
+    let mut sim = NodeSim::new(quick_cfg(PolicyKind::Basil), 23);
+    let v = sim.add_workload(scaled(Benchmark::Sort));
+    sim.run_secs(1);
+    sim.reset_metrics();
+    let report = sim.run_secs(1);
+    assert!(report.io_count > 0);
+    assert!(sim.placement_of(v).is_some());
+}

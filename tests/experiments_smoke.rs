@@ -1,0 +1,30 @@
+//! Smoke test: the fast experiment harnesses run end-to-end at quick scale
+//! and produce well-formed results. (The heavier management experiments
+//! have their own in-crate tests.)
+
+use nvhsm_experiments::{run_experiment, Scale};
+
+#[test]
+fn fast_experiments_produce_rows() {
+    for id in ["table3", "fig5", "fig14", "fig15"] {
+        let result = run_experiment(id, Scale::Quick).expect("known id");
+        assert_eq!(result.id, id);
+        assert!(!result.rows.is_empty(), "{id} produced no rows");
+        assert!(!result.notes.is_empty(), "{id} produced no notes");
+        for row in &result.rows {
+            assert!(
+                row.values.iter().all(|v| v.is_finite()),
+                "{id}: non-finite value in {row:?}"
+            );
+        }
+        // Renders without panicking and contains the id.
+        assert!(result.render().contains(id));
+    }
+}
+
+#[test]
+fn unknown_experiment_is_an_error() {
+    let err = run_experiment("fig99", Scale::Quick).unwrap_err();
+    assert!(err.contains("fig99"));
+    assert!(err.contains("table2"), "error should list known ids");
+}

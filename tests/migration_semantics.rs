@@ -1,0 +1,101 @@
+//! Cross-crate integration: migration correctness — routing during
+//! mirror/lazy migrations, completion bookkeeping, capacity accounting.
+
+use nvdimm_hsm::core::{
+    Bitmap, Datastore, DatastoreId, MigrationMode, NodeConfig, NodeSim, PolicyKind, VmdkId,
+};
+use nvdimm_hsm::device::{HddConfig, HddDevice};
+use nvdimm_hsm::workload::hibench::{profile, Benchmark};
+
+#[test]
+fn datastore_capacity_is_conserved_across_migration_cycles() {
+    let mut ds = Datastore::new(
+        DatastoreId(0),
+        Box::new(HddDevice::new(HddConfig::small_test())),
+        0,
+    );
+    let cap = ds.capacity_blocks();
+    for round in 0..50 {
+        let id = VmdkId(round);
+        ds.place(id, 1000).expect("fits");
+        assert_eq!(ds.used_blocks(), 1000);
+        ds.remove(id);
+        assert_eq!(ds.used_blocks(), 0);
+    }
+    assert_eq!(ds.largest_free_extent(), cap);
+}
+
+#[test]
+fn bitmap_partitions_the_vmdk_exactly() {
+    let mut b = Bitmap::new(10_000);
+    for i in (0..10_000).step_by(3) {
+        b.set(i);
+    }
+    let set = b.count_set();
+    let mut clear = 0;
+    let mut cursor = 0;
+    while let Some(i) = b.next_clear(cursor) {
+        b.set(i);
+        clear += 1;
+        cursor = i;
+    }
+    assert_eq!(set + clear, 10_000);
+    assert!(b.complete());
+}
+
+#[test]
+fn migration_moves_placement_and_frees_source() {
+    let mut cfg = NodeConfig::small();
+    cfg.policy = PolicyKind::Bca;
+    cfg.train_requests = 30;
+    cfg.tau = 0.3;
+    let mut sim = NodeSim::new(cfg, 5);
+    let p = profile(Benchmark::Pagerank);
+    let blocks = p.working_set_blocks / 16;
+    let p = p.with_working_set(blocks);
+    let v = sim.add_workload_on(p, 2); // start on the HDD
+    let report = sim.run_secs(6);
+    assert!(report.migrations_completed >= 1, "{report:?}");
+    let ds = sim.placement_of(v).expect("alive");
+    assert_ne!(ds, 2);
+    // Exactly one residency after completion.
+    let hosts: Vec<usize> = (0..sim.datastores().len())
+        .filter(|&i| sim.datastores()[i].hosts(v))
+        .collect();
+    assert_eq!(hosts, vec![ds]);
+}
+
+#[test]
+fn lazy_migration_mirrors_writes() {
+    let mut cfg = NodeConfig::small();
+    cfg.policy = PolicyKind::BcaLazy;
+    cfg.train_requests = 30;
+    cfg.tau = 0.3;
+    let mut sim = NodeSim::new(cfg, 5);
+    // A write-heavy workload stranded on the HDD: once the lazy migration
+    // starts, its writes mirror to the destination.
+    let p = profile(Benchmark::NutchIndexing);
+    let blocks = p.working_set_blocks / 16;
+    let p = p.with_working_set(blocks);
+    sim.add_workload_on(p, 2);
+    let report = sim.run_secs(6);
+    assert!(
+        report.migrations_started >= 1,
+        "no migration started: {report:?}"
+    );
+    assert!(
+        report.mirrored_blocks > 0,
+        "lazy migration mirrored nothing: {report:?}"
+    );
+}
+
+#[test]
+fn migration_modes_match_policies() {
+    use nvdimm_hsm::core::Manager;
+    use nvdimm_hsm::core::pretrain_models;
+    let models = pretrain_models(30, 3);
+    let m = Manager::new(PolicyKind::LightSrm, 0.5, models);
+    assert_eq!(m.policy().mirroring(), true);
+    assert_eq!(m.policy().lazy_copy(), false);
+    let _ = MigrationMode::Mirror;
+}

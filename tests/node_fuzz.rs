@@ -1,0 +1,75 @@
+//! Randomized cross-crate invariants: arbitrary policy/workload/seed
+//! combinations must keep the node simulation internally consistent.
+
+use nvdimm_hsm::core::{NodeConfig, NodeSim, PolicyKind};
+use nvdimm_hsm::workload::hibench::{profile, Benchmark};
+use proptest::prelude::*;
+
+fn policy_from(idx: u8) -> PolicyKind {
+    PolicyKind::ALL[idx as usize % PolicyKind::ALL.len()]
+}
+
+fn benchmark_from(idx: u8) -> Benchmark {
+    Benchmark::ALL[idx as usize % Benchmark::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any policy, seed, and workload subset:
+    /// * per-device I/O sums to the report total,
+    /// * every VMDK stays resident on exactly one datastore when no
+    ///   migration is in flight,
+    /// * migration counters are consistent,
+    /// * the run is deterministic under its seed.
+    #[test]
+    fn node_sim_invariants(
+        policy_idx in 0u8..6,
+        seed in 0u64..1_000,
+        bench_idxs in proptest::collection::vec(0u8..8, 1..4),
+    ) {
+        let build = || {
+            let mut cfg = NodeConfig::small();
+            cfg.policy = policy_from(policy_idx);
+            cfg.train_requests = 25;
+            cfg.tau = 0.4;
+            let mut sim = NodeSim::new(cfg, seed);
+            let mut ids = Vec::new();
+            for &bi in &bench_idxs {
+                let p = profile(benchmark_from(bi));
+                let blocks = (p.working_set_blocks / 32).max(512);
+                ids.push(sim.add_workload(p.with_working_set(blocks)));
+            }
+            (sim, ids)
+        };
+
+        let (mut sim, ids) = build();
+        let report = sim.run_secs(2);
+
+        let device_sum: u64 = report.devices.iter().map(|d| d.io_count).sum();
+        prop_assert_eq!(device_sum, report.io_count);
+        prop_assert!(report.migrations_completed <= report.migrations_started);
+        prop_assert!(report.mean_latency_us >= 0.0);
+
+        // Residency: each VMDK lives on its reported placement; dual
+        // residency only while a migration is active.
+        for &v in &ids {
+            let placement = sim.placement_of(v);
+            prop_assert!(placement.is_some());
+            let hosts = (0..sim.datastores().len())
+                .filter(|&i| sim.datastores()[i].hosts(v))
+                .count();
+            if sim.active_migrations() == 0 {
+                prop_assert_eq!(hosts, 1, "vmdk {:?} resident on {} datastores", v, hosts);
+            } else {
+                prop_assert!(hosts >= 1 && hosts <= 2);
+            }
+        }
+
+        // Determinism.
+        let (mut sim2, _) = build();
+        let report2 = sim2.run_secs(2);
+        prop_assert_eq!(report.io_count, report2.io_count);
+        prop_assert_eq!(report.migrations_started, report2.migrations_started);
+    }
+}
