@@ -1,0 +1,221 @@
+//! Benchmarks of the scenario-parallel driver and the hot-path kernels it
+//! leans on: the event-queue `pop_due` fast path, the memoized device-model
+//! prediction, the bus-slowdown lookup table, O(1) report building, one
+//! full mix scenario, and grid throughput at 1 vs all workers.
+//!
+//! `scripts/bench_snapshot.sh` runs this with `CRITERION_JSON_OUT` set and
+//! packages the results as `BENCH_driver.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nvhsm_core::training::pretrain_models;
+use nvhsm_core::{NodeConfig, NodeSim, PolicyKind};
+use nvhsm_device::{DeviceKind, IoOp, IoRequest, SsdConfig, SsdDevice, StorageDevice};
+use nvhsm_experiments::mix::{run_mix, MixParams};
+use nvhsm_experiments::Scale;
+use nvhsm_mem::{AnalyticBus, CalibrationCurve, DramConfig};
+use nvhsm_model::Features;
+use nvhsm_sim::{parallel, EventQueue, SimDuration, SimRng, SimTime};
+
+fn bench_pop_due(c: &mut Criterion) {
+    c.bench_function("driver/event_queue_pop_due_1k", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1024);
+            q.reserve(1024);
+            for i in 0..1024u64 {
+                q.push(SimTime::from_ns(rng.below(1_000_000)), i);
+            }
+            // Drain through the due-bounded path the simulators use: half
+            // the probes hit the fast not-due branch.
+            let mut acc = 0u64;
+            let mut now = SimTime::ZERO;
+            while !q.is_empty() {
+                while let Some((_, e)) = q.pop_due(now) {
+                    acc = acc.wrapping_add(e);
+                }
+                now += SimDuration::from_ns(2_000);
+            }
+            black_box(acc)
+        })
+    });
+    // Baseline: the pre-optimization shape — peek to check the deadline,
+    // then pop as a second heap access.
+    c.bench_function("driver/event_queue_peek_then_pop_1k", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1024);
+            for i in 0..1024u64 {
+                q.push(SimTime::from_ns(rng.below(1_000_000)), i);
+            }
+            let mut acc = 0u64;
+            let mut now = SimTime::ZERO;
+            while !q.is_empty() {
+                while q.peek().is_some_and(|(t, _)| t <= now) {
+                    let (_, e) = q.pop().expect("peeked entry");
+                    acc = acc.wrapping_add(e);
+                }
+                now += SimDuration::from_ns(2_000);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_predict_memo(c: &mut Criterion) {
+    let models = pretrain_models(40, 7);
+    let mut rng = SimRng::new(8);
+    let probes: Vec<Features> = (0..64)
+        .map(|_| Features {
+            wr_ratio: rng.uniform(),
+            oios: rng.uniform() * 16.0,
+            ios: 1.0 + rng.uniform() * 7.0,
+            wr_rand: rng.uniform(),
+            rd_rand: rng.uniform(),
+            free_space_ratio: rng.uniform(),
+        })
+        .collect();
+    // An epoch decision predicts each resident's feature vector once per
+    // candidate move it evaluates, so every vector is looked up many times
+    // per epoch. Model that: 8 passes over the probe set per iteration.
+    const PASSES: usize = 8;
+    c.bench_function("driver/predict_uncached_64x8", |b| {
+        let model = models.model(DeviceKind::Ssd);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..PASSES {
+                for f in &probes {
+                    acc += model.predict(f);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("driver/predict_memo_64x8", |b| {
+        b.iter(|| {
+            models.clear_prediction_memo();
+            let mut acc = 0.0;
+            for _ in 0..PASSES {
+                for f in &probes {
+                    acc += models.predict_us(DeviceKind::Ssd, f);
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_bus_lut(c: &mut Criterion) {
+    let bus = AnalyticBus::new(&DramConfig::ddr3_1600());
+    c.bench_function("driver/bus_slowdown_lut_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                acc += bus.slowdown(i as f64 / 1000.0);
+            }
+            black_box(acc)
+        })
+    });
+    // Baseline: the segment-scanning curve interpolation the LUT replaced.
+    let curve = CalibrationCurve::processor_sharing();
+    c.bench_function("driver/bus_slowdown_exact_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                acc += curve.slowdown(i as f64 / 1000.0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_report_build(c: &mut Criterion) {
+    // The series are Arc-shared into the report, so building one is O(1)
+    // in series length; this measures exactly the end-of-run path.
+    let mut cfg = NodeConfig::small();
+    cfg.policy = PolicyKind::Bca;
+    cfg.train_requests = 40;
+    let mut sim = NodeSim::new(cfg, 42);
+    for p in nvhsm_workload::hibench::all_profiles().into_iter().take(3) {
+        let blocks = p.working_set_blocks / 16;
+        sim.add_workload(p.with_working_set(blocks));
+    }
+    sim.run_secs(2);
+    c.bench_function("driver/report_build", |b| {
+        b.iter(|| black_box(sim.run(SimDuration::ZERO)))
+    });
+    // Baseline: what the pre-Arc report build paid — a deep copy of every
+    // series the run accumulated.
+    c.bench_function("driver/report_build_deepcopy", |b| {
+        b.iter(|| {
+            let r = sim.run(SimDuration::ZERO);
+            black_box((
+                r.nvdimm_hit_ratio.to_vec(),
+                r.nvdimm_latency_series.to_vec(),
+                r.bus_utilization_series.to_vec(),
+                r.migration_log.to_vec(),
+            ))
+        })
+    });
+}
+
+/// A deliberately small device-level scenario for grid-throughput runs.
+fn small_scenario(seed: u64) -> f64 {
+    let mut dev = SsdDevice::new(SsdConfig::small_test());
+    dev.prefill(0..dev.logical_blocks() / 4);
+    let mut rng = SimRng::new(seed);
+    let mut t = SimTime::ZERO;
+    let mut sum = 0.0;
+    let span = dev.logical_blocks() / 4;
+    for i in 0..2_000u64 {
+        let op = if i % 4 == 0 { IoOp::Write } else { IoOp::Read };
+        let c = dev.submit(&IoRequest::normal(0, rng.below(span), 2, op, t));
+        sum += c.latency.as_us_f64();
+        t += SimDuration::from_us(30);
+    }
+    sum
+}
+
+fn bench_grid(c: &mut Criterion) {
+    const TASKS: usize = 16;
+    let mut group = c.benchmark_group("driver");
+    group.sample_size(10);
+    group.bench_function("grid_16_jobs1", |b| {
+        parallel::set_jobs(Some(1));
+        b.iter(|| {
+            let out = parallel::map_grid((0..TASKS as u64).collect(), small_scenario);
+            black_box(out)
+        });
+        parallel::set_jobs(None);
+    });
+    group.bench_function("grid_16_jobs_all", |b| {
+        parallel::set_jobs(None);
+        b.iter(|| {
+            let out = parallel::map_grid((0..TASKS as u64).collect(), small_scenario);
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+fn bench_single_scenario(c: &mut Criterion) {
+    // One full standard-mix scenario at Quick scale: the unit of work the
+    // driver fans out. Quick covers 8 simulated seconds of measured window,
+    // so ns/iter ÷ 8e3 gives ns per simulated millisecond.
+    let mut group = c.benchmark_group("driver");
+    group.sample_size(2);
+    group.bench_function("single_scenario_quick_8sim_s", |b| {
+        b.iter(|| black_box(run_mix(MixParams::standard(PolicyKind::Bca), Scale::Quick)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pop_due,
+    bench_predict_memo,
+    bench_bus_lut,
+    bench_report_build,
+    bench_grid,
+    bench_single_scenario
+);
+criterion_main!(benches);

@@ -180,9 +180,7 @@ fn bench_model_ablation(c: &mut Criterion) {
         })
         .collect();
     group.bench_function("regression_tree", |b| {
-        b.iter(|| {
-            black_box(RegressionTree::fit(&samples, &RegTreeConfig::default()))
-        })
+        b.iter(|| black_box(RegressionTree::fit(&samples, &RegTreeConfig::default())))
     });
     group.bench_function("linear_regression", |b| {
         b.iter(|| black_box(LinearRegression::fit(&samples)))

@@ -157,17 +157,15 @@ impl Manager {
             if loaded.is_empty() {
                 return 0.0;
             }
-            let model = self.models.model(DeviceKind::Nvdimm);
             loaded
                 .iter()
-                .map(|r| model.predict(&r.features))
+                .map(|r| self.models.predict_us(DeviceKind::Nvdimm, &r.features))
                 .sum::<f64>()
                 / loaded.len() as f64
         } else {
             obs.epoch.mean_latency_us()
         }
     }
-
 
     /// Estimated per-unit latency of `obs`'s device if workload `w` were
     /// added (`+1`) or removed (`-1`): the what-if model.
@@ -178,19 +176,17 @@ impl Manager {
     /// but contention-blindness on the *source* side.
     fn what_if_us(&self, obs: &DeviceObservation, w: &ResidentInfo, add: bool) -> f64 {
         if add {
-            let model = self.models.model(obs.kind);
             let mut f = w.features;
             // At the destination the workload competes with the resident
             // load: fold the device's measured OIO in.
             f.oios += obs.epoch.oio();
             f.free_space_ratio = obs.free_space;
-            return model.predict(&f);
+            return self.models.predict_us(obs.kind, &f);
         }
         let current = self.device_perf_us(obs);
         if self.policy.uses_prediction() && obs.kind == DeviceKind::Nvdimm {
             // Removing it from an NVDIMM: remaining residents' prediction
             // (Eq. 5 applies the model to NVDIMMs only).
-            let model = self.models.model(obs.kind);
             let rest: Vec<&ResidentInfo> = obs
                 .residents
                 .iter()
@@ -199,7 +195,9 @@ impl Manager {
             if rest.is_empty() {
                 0.0
             } else {
-                rest.iter().map(|r| model.predict(&r.features)).sum::<f64>()
+                rest.iter()
+                    .map(|r| self.models.predict_us(obs.kind, &r.features))
+                    .sum::<f64>()
                     / rest.len() as f64
             }
         } else {
@@ -224,13 +222,22 @@ impl Manager {
         observations: &[DeviceObservation],
         migration_active: bool,
     ) -> Option<MigrationDecision> {
+        // New epoch, new feature vectors: memoized predictions from the
+        // previous epoch can never hit again.
+        self.models.clear_prediction_memo();
         let mut diag = EpochDiagnostics::default();
         // Raw per-device latencies (Eq. 5): the paper compares device
         // performance directly, which is what drives load toward the fast
         // tier and exposes contention mispredictions.
         let perfs: Vec<f64> = observations
             .iter()
-            .map(|o| if o.loaded() { self.device_perf_us(o) } else { 0.0 })
+            .map(|o| {
+                if o.loaded() {
+                    self.device_perf_us(o)
+                } else {
+                    0.0
+                }
+            })
             .collect();
         for (o, &p) in observations.iter().zip(&perfs) {
             diag.normalized_perf.push((o.ds, p));
@@ -289,74 +296,76 @@ impl Manager {
                 .expect("finite contribution")
         });
         for w in candidates {
-
-        // Destination: the device whose predicted latency after receiving
-        // the workload is lowest (Eq. 4's minimum-average criterion reduces
-        // to this for a single move).
-        let dst = observations
-            .iter()
-            .filter(|o| o.ds != src_obs.ds && o.free_capacity_blocks >= w.size_blocks)
-            .map(|o| (o, self.what_if_us(o, w, true)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite what-if"));
-        let Some((dst_obs, _)) = dst else {
-            continue;
-        };
-
-        // Gates.
-        let src_before = self.device_perf_us(src_obs);
-        // Eq. 7: "if the destination has no load, the migrated workload is
-        // used for the calculation at the destination" — the before-side of
-        // an empty destination is the workload's current latency, so the
-        // benefit reflects what the workload itself stands to gain.
-        let dst_before = if dst_obs.loaded() {
-            self.device_perf_us(dst_obs)
-        } else {
-            w.mean_latency_us
-        };
-        let src_after = self.what_if_us(src_obs, w, false);
-        let dst_after = self.what_if_us(dst_obs, w, true);
-
-        let accept = if self.policy.cost_benefit() {
-            let unit = UnitCosts {
-                src_read_us: per_block_read_us(src_obs, &self.models),
-                dst_write_us: per_block_write_us(dst_obs, &self.models),
-                src_contention_us: self.contention_us(src_obs),
-                dst_contention_us: self.contention_us(dst_obs),
+            // Destination: the device whose predicted latency after receiving
+            // the workload is lowest (Eq. 4's minimum-average criterion reduces
+            // to this for a single move).
+            let dst = observations
+                .iter()
+                .filter(|o| o.ds != src_obs.ds && o.free_capacity_blocks >= w.size_blocks)
+                .map(|o| (o, self.what_if_us(o, w, true)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite what-if"));
+            let Some((dst_obs, _)) = dst else {
+                continue;
             };
-            let moved = if self.policy.mirroring() {
-                // Mirroring avoids copying blocks the workload will
-                // overwrite anyway: discount by the write ratio.
-                (w.size_blocks as f64 * (1.0 - w.features.wr_ratio)) as u64
+
+            // Gates.
+            let src_before = self.device_perf_us(src_obs);
+            // Eq. 7: "if the destination has no load, the migrated workload is
+            // used for the calculation at the destination" — the before-side of
+            // an empty destination is the workload's current latency, so the
+            // benefit reflects what the workload itself stands to gain.
+            let dst_before = if dst_obs.loaded() {
+                self.device_perf_us(dst_obs)
             } else {
-                w.size_blocks
+                w.mean_latency_us
             };
-            let cost = migration_cost_us(moved, &unit);
-            let benefit =
-                migration_benefit_us(w.live_blocks, src_before + dst_before, src_after + dst_after);
-            benefit > cost
-        } else {
-            // BASIL: accept any move its model says improves the hot spot.
-            dst_after < max_p
-        };
+            let src_after = self.what_if_us(src_obs, w, false);
+            let dst_after = self.what_if_us(dst_obs, w, true);
 
-        if !accept {
-            continue;
-        }
-        self.last_diagnostics = diag;
+            let accept = if self.policy.cost_benefit() {
+                let unit = UnitCosts {
+                    src_read_us: per_block_read_us(src_obs, &self.models),
+                    dst_write_us: per_block_write_us(dst_obs, &self.models),
+                    src_contention_us: self.contention_us(src_obs),
+                    dst_contention_us: self.contention_us(dst_obs),
+                };
+                let moved = if self.policy.mirroring() {
+                    // Mirroring avoids copying blocks the workload will
+                    // overwrite anyway: discount by the write ratio.
+                    (w.size_blocks as f64 * (1.0 - w.features.wr_ratio)) as u64
+                } else {
+                    w.size_blocks
+                };
+                let cost = migration_cost_us(moved, &unit);
+                let benefit = migration_benefit_us(
+                    w.live_blocks,
+                    src_before + dst_before,
+                    src_after + dst_after,
+                );
+                benefit > cost
+            } else {
+                // BASIL: accept any move its model says improves the hot spot.
+                dst_after < max_p
+            };
 
-        let mode = if self.policy.lazy_copy() {
-            MigrationMode::Lazy
-        } else if self.policy.mirroring() {
-            MigrationMode::Mirror
-        } else {
-            MigrationMode::FullCopy
-        };
-        return Some(MigrationDecision {
-            vmdk: w.vmdk,
-            src: src_obs.ds,
-            dst: dst_obs.ds,
-            mode,
-        });
+            if !accept {
+                continue;
+            }
+            self.last_diagnostics = diag;
+
+            let mode = if self.policy.lazy_copy() {
+                MigrationMode::Lazy
+            } else if self.policy.mirroring() {
+                MigrationMode::Mirror
+            } else {
+                MigrationMode::FullCopy
+            };
+            return Some(MigrationDecision {
+                vmdk: w.vmdk,
+                src: src_obs.ds,
+                dst: dst_obs.ds,
+                mode,
+            });
         }
         diag.vetoed = true;
         self.last_diagnostics = diag;
@@ -506,8 +515,20 @@ mod tests {
         // Two devices of the same tier at similar raw latency: balanced
         // (raw Eq. 5 comparison, like the paper's).
         let o = vec![
-            obs(0, DeviceKind::Ssd, 100.0, 100, vec![resident(0, 100.0, 100)]),
-            obs(1, DeviceKind::Ssd, 110.0, 100, vec![resident(1, 110.0, 100)]),
+            obs(
+                0,
+                DeviceKind::Ssd,
+                100.0,
+                100,
+                vec![resident(0, 100.0, 100)],
+            ),
+            obs(
+                1,
+                DeviceKind::Ssd,
+                110.0,
+                100,
+                vec![resident(1, 110.0, 100)],
+            ),
         ];
         // Call twice: the debounce requires persistence anyway.
         let _ = m.epoch_decision(&o, false);
@@ -576,13 +597,7 @@ mod tests {
         let mut r = resident(0, nv_baseline * 20.0, 500);
         r.live_blocks = 1;
         let o = vec![
-            obs(
-                0,
-                DeviceKind::Nvdimm,
-                nv_baseline * 20.0,
-                500,
-                vec![r],
-            ),
+            obs(0, DeviceKind::Nvdimm, nv_baseline * 20.0, 500, vec![r]),
             obs(1, DeviceKind::Ssd, 0.0, 0, vec![]),
         ];
         assert!(m.epoch_decision(&o, false).is_none());

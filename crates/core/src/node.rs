@@ -17,13 +17,14 @@ use crate::training::pretrain_models;
 use crate::vmdk::{Vmdk, VmdkId};
 use nvhsm_cache::BufferCache;
 use nvhsm_device::{
-    DeviceKind, HddConfig, HddDevice, IoOp, IoRequest, MigrationTuning, NvdimmConfig,
-    NvdimmDevice, SsdConfig, SsdDevice,
+    DeviceKind, HddConfig, HddDevice, IoOp, IoRequest, MigrationTuning, NvdimmConfig, NvdimmDevice,
+    SsdConfig, SsdDevice,
 };
 use nvhsm_model::Features;
 use nvhsm_sim::{OnlineStats, SimDuration, SimRng, SimTime};
 use nvhsm_workload::{GenOp, IoGenerator, SpecProgram, SpecTraffic, WorkloadProfile};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Node simulation configuration.
 #[derive(Debug, Clone)]
@@ -126,13 +127,18 @@ pub struct NodeReport {
     pub mirrored_blocks: u64,
     /// NVDIMM buffer-cache hit ratio per epoch, as (cumulative NVDIMM
     /// requests, hit ratio) — Fig. 15's axes.
-    pub nvdimm_hit_ratio: Vec<(u64, f64)>,
+    ///
+    /// The series fields are `Arc`-shared with the simulator rather than
+    /// deep-copied: building a report is O(1) in series length, and the
+    /// simulator copies-on-write only if it keeps running while a report
+    /// is still held.
+    pub nvdimm_hit_ratio: Arc<Vec<(u64, f64)>>,
     /// NVDIMM mean workload latency per epoch, µs (Fig. 4/7 time series).
-    pub nvdimm_latency_series: Vec<f64>,
+    pub nvdimm_latency_series: Arc<Vec<f64>>,
     /// NVDIMM ambient bus utilization per epoch (Fig. 4's second axis).
-    pub bus_utilization_series: Vec<f64>,
+    pub bus_utilization_series: Arc<Vec<f64>>,
     /// Every migration the manager started in the measured window.
-    pub migration_log: Vec<MigrationEvent>,
+    pub migration_log: Arc<Vec<MigrationEvent>>,
 }
 
 /// One entry of the migration log.
@@ -221,10 +227,10 @@ pub struct NodeSim {
     migration_wall: SimDuration,
     copied_blocks: u64,
     mirrored_blocks: u64,
-    hit_ratio_series: Vec<(u64, f64)>,
-    nvdimm_latency_series: Vec<f64>,
-    bus_util_series: Vec<f64>,
-    migration_log: Vec<MigrationEvent>,
+    hit_ratio_series: Arc<Vec<(u64, f64)>>,
+    nvdimm_latency_series: Arc<Vec<f64>>,
+    bus_util_series: Arc<Vec<f64>>,
+    migration_log: Arc<Vec<MigrationEvent>>,
     last_cache_counts: (u64, u64),
     nvdimm_epoch_latency: OnlineStats,
 }
@@ -312,10 +318,10 @@ impl NodeSim {
             migration_wall: SimDuration::ZERO,
             copied_blocks: 0,
             mirrored_blocks: 0,
-            hit_ratio_series: Vec::new(),
-            nvdimm_latency_series: Vec::new(),
-            bus_util_series: Vec::new(),
-            migration_log: Vec::new(),
+            hit_ratio_series: Arc::new(Vec::new()),
+            nvdimm_latency_series: Arc::new(Vec::new()),
+            bus_util_series: Arc::new(Vec::new()),
+            migration_log: Arc::new(Vec::new()),
             last_cache_counts: (0, 0),
             nvdimm_epoch_latency: OnlineStats::new(),
         }
@@ -471,10 +477,13 @@ impl NodeSim {
         self.migration_wall = SimDuration::ZERO;
         self.copied_blocks = 0;
         self.mirrored_blocks = 0;
-        self.hit_ratio_series.clear();
-        self.nvdimm_latency_series.clear();
-        self.bus_util_series.clear();
-        self.migration_log.clear();
+        // Fresh Arcs instead of clear(): if an earlier report still shares
+        // the old series, clearing through make_mut would first deep-copy
+        // data that is about to be discarded anyway.
+        self.hit_ratio_series = Arc::new(Vec::new());
+        self.nvdimm_latency_series = Arc::new(Vec::new());
+        self.bus_util_series = Arc::new(Vec::new());
+        self.migration_log = Arc::new(Vec::new());
         self.nvdimm_epoch_latency = OnlineStats::new();
         for m in &mut self.migrations {
             // In-flight migrations' clocks restart so their pre-reset
@@ -562,11 +571,7 @@ impl NodeSim {
         // Route: during a mirror/lazy migration of this VMDK, writes go to
         // the destination and reads follow the bitmap.
         let mut target_ds = self.workloads[wi].ds;
-        if let Some(m) = self
-            .migrations
-            .iter_mut()
-            .find(|m| m.active.vmdk == vmdk)
-        {
+        if let Some(m) = self.migrations.iter_mut().find(|m| m.active.vmdk == vmdk) {
             if m.active.mode != MigrationMode::FullCopy {
                 match op {
                     IoOp::Write => {
@@ -578,8 +583,8 @@ impl NodeSim {
                         }
                     }
                     IoOp::Read => {
-                        let at_dst = gen.offset < m.active.bitmap.len()
-                            && m.active.bitmap.get(gen.offset);
+                        let at_dst =
+                            gen.offset < m.active.bitmap.len() && m.active.bitmap.get(gen.offset);
                         target_ds = if at_dst {
                             m.active.dst.0
                         } else {
@@ -601,7 +606,8 @@ impl NodeSim {
             .latency
             .add(completion.latency.as_us_f64());
         if self.datastores[target_ds].device().kind() == DeviceKind::Nvdimm {
-            self.nvdimm_epoch_latency.add(completion.latency.as_us_f64());
+            self.nvdimm_epoch_latency
+                .add(completion.latency.as_us_f64());
         }
         if completion.latency > self.cfg.backpressure {
             self.workloads[wi].generator.fast_forward(completion.done);
@@ -692,7 +698,11 @@ impl NodeSim {
     }
 
     fn start_migration(&mut self, decision: MigrationDecision) {
-        if self.migrations.iter().any(|m| m.active.vmdk == decision.vmdk) {
+        if self
+            .migrations
+            .iter()
+            .any(|m| m.active.vmdk == decision.vmdk)
+        {
             return; // already on the move
         }
         if std::env::var_os("NVHSM_TRACE").is_some() {
@@ -707,11 +717,7 @@ impl NodeSim {
             );
         }
         let dst = decision.dst.0;
-        let Some(w) = self
-            .workloads
-            .iter()
-            .find(|w| w.vmdk.id() == decision.vmdk)
-        else {
+        let Some(w) = self.workloads.iter().find(|w| w.vmdk.id() == decision.vmdk) else {
             return;
         };
         let blocks = w.vmdk.size_blocks();
@@ -719,7 +725,7 @@ impl NodeSim {
             return;
         }
         self.migrations_started += 1;
-        self.migration_log.push(MigrationEvent {
+        Arc::make_mut(&mut self.migration_log).push(MigrationEvent {
             started: self.now,
             vmdk: decision.vmdk,
             src: decision.src.0,
@@ -818,13 +824,11 @@ impl NodeSim {
         let (dh, dm) = (hits.saturating_sub(lh), misses.saturating_sub(lm));
         self.last_cache_counts = (hits, misses);
         if dh + dm > 0 {
-            self.hit_ratio_series
-                .push((nv_reqs, dh as f64 / (dh + dm) as f64));
+            Arc::make_mut(&mut self.hit_ratio_series).push((nv_reqs, dh as f64 / (dh + dm) as f64));
         }
-        self.nvdimm_latency_series
-            .push(self.nvdimm_epoch_latency.mean());
+        Arc::make_mut(&mut self.nvdimm_latency_series).push(self.nvdimm_epoch_latency.mean());
         self.nvdimm_epoch_latency = OnlineStats::new();
-        self.bus_util_series.push(
+        Arc::make_mut(&mut self.bus_util_series).push(
             self.spec
                 .first()
                 .map(|s| s.utilization_at(self.now))
@@ -843,8 +847,7 @@ impl NodeSim {
                 let calm = src_obs.epoch.io_count() < 10
                     || src_obs.epoch.mean_latency_us() < 3.0 * baseline;
                 let almost_done = m.active.remaining_blocks() < 1024;
-                let overdue =
-                    self.now.saturating_since(m.active.started) > self.cfg.epoch * 10;
+                let overdue = self.now.saturating_since(m.active.started) > self.cfg.epoch * 10;
                 let was = m.active.copy_enabled;
                 m.active.copy_enabled = calm || almost_done || overdue;
                 if m.active.copy_enabled && !was {
@@ -857,8 +860,7 @@ impl NodeSim {
         // completion: epochs polluted by a copy's own interference never
         // reach the detector, which keeps a migration from triggering its
         // own counter-move.
-        let busy =
-            self.migrations.len() >= self.nodes || self.now < self.decision_cooldown_until;
+        let busy = self.migrations.len() >= self.nodes || self.now < self.decision_cooldown_until;
         let decision = self.manager.epoch_decision(&observations, busy);
         if std::env::var_os("NVHSM_TRACE").is_some() {
             let diag = self.manager.last_diagnostics();
@@ -933,10 +935,11 @@ impl NodeSim {
                     .iter()
                     .map(|m| m.active.mirrored_blocks)
                     .sum::<u64>(),
-            nvdimm_hit_ratio: self.hit_ratio_series.clone(),
-            nvdimm_latency_series: self.nvdimm_latency_series.clone(),
-            bus_utilization_series: self.bus_util_series.clone(),
-            migration_log: self.migration_log.clone(),
+            // O(1) handle copies — see the NodeReport field docs.
+            nvdimm_hit_ratio: Arc::clone(&self.hit_ratio_series),
+            nvdimm_latency_series: Arc::clone(&self.nvdimm_latency_series),
+            bus_utilization_series: Arc::clone(&self.bus_util_series),
+            migration_log: Arc::clone(&self.migration_log),
         }
     }
 }
@@ -989,7 +992,10 @@ mod tests {
             .map(|&v| sim.placement_of(v).unwrap())
             .collect();
         // Not all on one datastore.
-        assert!(placements.windows(2).any(|w| w[0] != w[1]), "{placements:?}");
+        assert!(
+            placements.windows(2).any(|w| w[0] != w[1]),
+            "{placements:?}"
+        );
     }
 
     #[test]
@@ -1004,13 +1010,10 @@ mod tests {
         let mut cfg = quick_cfg(PolicyKind::Basil);
         cfg.tau = 0.3;
         let mut sim = NodeSim::new(cfg, 5);
-        sim.add_workload_on(
-            profile(Benchmark::Pagerank).with_working_set(20_000),
-            2,
-        );
+        sim.add_workload_on(profile(Benchmark::Pagerank).with_working_set(20_000), 2);
         let report = sim.run_secs(4);
         assert_eq!(report.migration_log.len() as u64, report.migrations_started);
-        for e in &report.migration_log {
+        for e in report.migration_log.iter() {
             assert_ne!(e.src, e.dst);
         }
     }

@@ -13,10 +13,11 @@ use nvhsm_device::{
     DeviceKind, HddConfig, HddDevice, IoOp, IoRequest, NvdimmConfig, NvdimmDevice, SsdConfig,
     SsdDevice, StorageDevice,
 };
-use nvhsm_model::{Dataset, Features, PerfModel, Sample};
+use nvhsm_model::{Dataset, Features, PerfModel, Sample, NUM_FEATURES};
 use nvhsm_sim::{SimDuration, SimRng, SimTime};
 use nvhsm_workload::synthetic::training_grid;
 use nvhsm_workload::{GenOp, IoGenerator};
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// Trained models plus baseline characteristics per device kind.
@@ -31,6 +32,50 @@ pub struct DeviceModels {
     /// Per-block sequential streaming latency per kind, µs — what a bulk
     /// migration copy actually costs (Eq. 6's per-unit terms).
     seq_block: HashMap<DeviceKind, f64>,
+    /// Exact-key memo in front of tree prediction: one epoch decision
+    /// re-predicts the same resident feature vectors many times while
+    /// evaluating candidates. Keys are the raw feature bits, so a memo hit
+    /// returns exactly what the tree would (see `predict_us`). Interior
+    /// mutability keeps the prediction API `&self`; the manager clears it
+    /// once per epoch so it never outlives the features it caches.
+    memo: RefCell<HashMap<(DeviceKind, [u64; NUM_FEATURES]), f64, BuildFnvHasher>>,
+}
+
+/// FNV-1a over the raw key bytes. The memo key is 56 bytes of feature
+/// bits, which the default SipHash hasher turns into the dominant cost of
+/// a memo hit; FNV keeps the hit path cheaper than re-walking the tree.
+struct FnvHasher(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        // The key is almost entirely u64 feature bits; folding each word
+        // in one multiply instead of eight keeps hashing off the profile.
+        self.0 = (self.0 ^ v).wrapping_mul(FNV_PRIME);
+    }
+}
+
+#[derive(Default, Clone)]
+struct BuildFnvHasher;
+
+impl std::hash::BuildHasher for BuildFnvHasher {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher(FNV_OFFSET)
+    }
 }
 
 impl DeviceModels {
@@ -57,6 +102,31 @@ impl DeviceModels {
     /// Per-block sequential streaming latency of `kind`, µs.
     pub fn seq_block_us(&self, kind: DeviceKind) -> f64 {
         self.seq_block[&kind]
+    }
+
+    /// Memoized model prediction for `kind`: bit-for-bit identical to
+    /// `self.model(kind).predict(features)` — the memo key is the exact
+    /// bit pattern of the feature vector, so a hit can only return a value
+    /// the tree itself produced for those same bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` was not trained (cannot happen via
+    /// [`pretrain_models`]).
+    pub fn predict_us(&self, kind: DeviceKind, features: &Features) -> f64 {
+        let key = (kind, features.to_array().map(f64::to_bits));
+        *self
+            .memo
+            .borrow_mut()
+            .entry(key)
+            .or_insert_with(|| self.models[&kind].predict(features))
+    }
+
+    /// Drops all memoized predictions. Called once per management epoch:
+    /// feature vectors change between epochs, so stale entries would only
+    /// grow the map without ever hitting.
+    pub fn clear_prediction_memo(&self) {
+        self.memo.borrow_mut().clear();
     }
 }
 
@@ -125,82 +195,131 @@ fn run_profile(
     }
 }
 
+/// Trained characteristics of one device kind.
+struct KindCharacteristics {
+    model: PerfModel,
+    baseline_us: f64,
+    slope_us_per_oio: f64,
+    seq_block_us: f64,
+}
+
+/// Training fill levels per kind: flash devices are additionally trained
+/// at a high fill level so the model sees the GC write cliff
+/// (free_space_ratio feature).
+fn fills_for(kind: DeviceKind) -> &'static [f64] {
+    match kind {
+        DeviceKind::Hdd => &[0.0],
+        _ => &[0.2, 0.9],
+    }
+}
+
+/// Trains one device kind, consuming one pre-forked RNG per grid point.
+fn train_kind(
+    kind: DeviceKind,
+    requests_per_point: usize,
+    rngs: Vec<SimRng>,
+) -> KindCharacteristics {
+    let mut rngs = rngs.into_iter();
+    let mut data = Dataset::new();
+    for &fill in fills_for(kind) {
+        let mut dev = scratch_device(kind);
+        let ws = (dev.logical_blocks() as f64 * 0.2) as u64;
+        if fill > 0.0 {
+            let filled = (dev.logical_blocks() as f64 * fill) as u64;
+            dev.prefill(0..filled);
+        } else {
+            dev.prefill(0..ws);
+        }
+        // HDD is slow per request: trim the grid workload volume.
+        let reqs = match kind {
+            DeviceKind::Hdd => requests_per_point / 2,
+            _ => requests_per_point,
+        }
+        .max(20);
+        for spec in training_grid() {
+            let mut profile = spec.to_profile(ws);
+            if kind == DeviceKind::Hdd {
+                // The grid's flash-scale rates would swamp a disk; scale
+                // to HDD-feasible rates while keeping relative spread.
+                profile.iops = (profile.iops / 20.0).max(20.0);
+            }
+            data.push(run_profile(
+                dev.as_mut(),
+                profile,
+                reqs,
+                rngs.next().expect("one RNG fork per grid point"),
+            ));
+        }
+    }
+    let model = PerfModel::train(&data);
+
+    // Baseline + slope from the collected samples: baseline is the mean
+    // latency of the lowest-OIO tercile, slope a two-point fit.
+    let mut by_oio: Vec<&Sample> = data.samples().iter().collect();
+    by_oio.sort_by(|a, b| {
+        a.features
+            .oios
+            .partial_cmp(&b.features.oios)
+            .expect("finite OIO")
+    });
+    let third = (by_oio.len() / 3).max(1);
+    let lo = &by_oio[..third];
+    let hi = &by_oio[by_oio.len() - third..];
+    let mean = |s: &[&Sample]| -> (f64, f64) {
+        let n = s.len() as f64;
+        (
+            s.iter().map(|x| x.features.oios).sum::<f64>() / n,
+            s.iter().map(|x| x.latency_us).sum::<f64>() / n,
+        )
+    };
+    let (oio_lo, lat_lo) = mean(lo);
+    let (oio_hi, lat_hi) = mean(hi);
+    let slope = if oio_hi > oio_lo {
+        ((lat_hi - lat_lo) / (oio_hi - oio_lo)).max(0.0)
+    } else {
+        0.0
+    };
+    KindCharacteristics {
+        model,
+        baseline_us: lat_lo.max(1.0),
+        slope_us_per_oio: slope,
+        seq_block_us: measure_seq_block_us(kind),
+    }
+}
+
 /// Trains the per-kind performance models and baseline characteristics.
 ///
 /// `requests_per_point` trades training fidelity for speed; 200 is enough
 /// for the management experiments, tests use less.
+///
+/// The three kinds train as one scenario grid. Their RNG streams are
+/// pre-forked serially from `seed` in fixed kind order, so the result is
+/// bit-identical whether the kinds run serially or on three workers —
+/// and identical to the original single-threaded implementation.
 pub fn pretrain_models(requests_per_point: usize, seed: u64) -> DeviceModels {
+    const KINDS: [DeviceKind; 3] = [DeviceKind::Nvdimm, DeviceKind::Ssd, DeviceKind::Hdd];
     let mut rng = SimRng::new(seed);
+    let grid_len = training_grid().len();
+    let tasks: Vec<(DeviceKind, Vec<SimRng>)> = KINDS
+        .iter()
+        .map(|&kind| {
+            let n = fills_for(kind).len() * grid_len;
+            (kind, (0..n).map(|_| rng.fork()).collect())
+        })
+        .collect();
+    let trained = nvhsm_sim::parallel::map_grid(tasks, move |(kind, rngs)| {
+        train_kind(kind, requests_per_point, rngs)
+    });
+
     let mut models = HashMap::new();
     let mut baselines = HashMap::new();
     let mut slopes = HashMap::new();
     let mut seq_block = HashMap::new();
-
-    for kind in [DeviceKind::Nvdimm, DeviceKind::Ssd, DeviceKind::Hdd] {
-        let mut data = Dataset::new();
-        // Flash devices are additionally trained at a high fill level so the
-        // model sees the GC write cliff (free_space_ratio feature).
-        let fills: &[f64] = match kind {
-            DeviceKind::Hdd => &[0.0],
-            _ => &[0.2, 0.9],
-        };
-        for &fill in fills {
-            let mut dev = scratch_device(kind);
-            let ws = (dev.logical_blocks() as f64 * 0.2) as u64;
-            if fill > 0.0 {
-                let filled = (dev.logical_blocks() as f64 * fill) as u64;
-                dev.prefill(0..filled);
-            } else {
-                dev.prefill(0..ws);
-            }
-            // HDD is slow per request: trim the grid workload volume.
-            let reqs = match kind {
-                DeviceKind::Hdd => requests_per_point / 2,
-                _ => requests_per_point,
-            }
-            .max(20);
-            for spec in training_grid() {
-                let mut profile = spec.to_profile(ws);
-                if kind == DeviceKind::Hdd {
-                    // The grid's flash-scale rates would swamp a disk; scale
-                    // to HDD-feasible rates while keeping relative spread.
-                    profile.iops = (profile.iops / 20.0).max(20.0);
-                }
-                data.push(run_profile(dev.as_mut(), profile, reqs, rng.fork()));
-            }
-        }
-        let model = PerfModel::train(&data);
-
-        // Baseline + slope from the collected samples: baseline is the mean
-        // latency of the lowest-OIO tercile, slope a two-point fit.
-        let mut by_oio: Vec<&Sample> = data.samples().iter().collect();
-        by_oio.sort_by(|a, b| {
-            a.features
-                .oios
-                .partial_cmp(&b.features.oios)
-                .expect("finite OIO")
-        });
-        let third = (by_oio.len() / 3).max(1);
-        let lo = &by_oio[..third];
-        let hi = &by_oio[by_oio.len() - third..];
-        let mean = |s: &[&Sample]| -> (f64, f64) {
-            let n = s.len() as f64;
-            (
-                s.iter().map(|x| x.features.oios).sum::<f64>() / n,
-                s.iter().map(|x| x.latency_us).sum::<f64>() / n,
-            )
-        };
-        let (oio_lo, lat_lo) = mean(lo);
-        let (oio_hi, lat_hi) = mean(hi);
-        let slope = if oio_hi > oio_lo {
-            ((lat_hi - lat_lo) / (oio_hi - oio_lo)).max(0.0)
-        } else {
-            0.0
-        };
-        baselines.insert(kind, lat_lo.max(1.0));
-        slopes.insert(kind, slope);
-        models.insert(kind, model);
-        seq_block.insert(kind, measure_seq_block_us(kind));
+    for (kind, c) in KINDS.into_iter().zip(trained) {
+        models.insert(kind, c.model);
+        baselines.insert(kind, c.baseline_us);
+        slopes.insert(kind, c.slope_us_per_oio);
+        seq_block.insert(kind, c.seq_block_us);
     }
 
     DeviceModels {
@@ -208,6 +327,7 @@ pub fn pretrain_models(requests_per_point: usize, seed: u64) -> DeviceModels {
         baselines,
         slopes,
         seq_block,
+        memo: RefCell::new(HashMap::with_hasher(BuildFnvHasher)),
     }
 }
 
@@ -226,6 +346,35 @@ mod tests {
         assert!(nv < ssd, "NVDIMM {nv} !< SSD {ssd}");
         assert!(ssd < hdd, "SSD {ssd} !< HDD {hdd}");
         assert!(hdd > 1_000.0, "HDD baseline {hdd} too fast");
+    }
+
+    #[test]
+    fn memoized_predictions_match_uncached_exactly() {
+        let m = pretrain_models(40, 13);
+        let mut rng = SimRng::new(99);
+        for _ in 0..200 {
+            let f = Features {
+                wr_ratio: rng.uniform(),
+                oios: rng.uniform() * 16.0,
+                ios: 1.0 + rng.uniform() * 7.0,
+                wr_rand: rng.uniform(),
+                rd_rand: rng.uniform(),
+                free_space_ratio: rng.uniform(),
+            };
+            for kind in [DeviceKind::Nvdimm, DeviceKind::Ssd, DeviceKind::Hdd] {
+                let direct = m.model(kind).predict(&f);
+                // First call populates the memo, second call hits it; both
+                // must be bit-identical to the uncached tree walk.
+                assert_eq!(m.predict_us(kind, &f).to_bits(), direct.to_bits());
+                assert_eq!(m.predict_us(kind, &f).to_bits(), direct.to_bits());
+            }
+        }
+        m.clear_prediction_memo();
+        let f = Features::default();
+        assert_eq!(
+            m.predict_us(DeviceKind::Ssd, &f).to_bits(),
+            m.model(DeviceKind::Ssd).predict(&f).to_bits()
+        );
     }
 
     #[test]

@@ -196,7 +196,13 @@ mod tests {
                 // Random probes and the sequential run are separate streams
                 // so the sequential cursor survives interleaving.
                 let c = if rng.chance(rand_frac) {
-                    d.submit(&IoRequest::normal(1, rng.below(1_000_000), 1, IoOp::Read, t))
+                    d.submit(&IoRequest::normal(
+                        1,
+                        rng.below(1_000_000),
+                        1,
+                        IoOp::Read,
+                        t,
+                    ))
                 } else {
                     cursor += 1;
                     d.submit(&IoRequest::normal(0, cursor, 1, IoOp::Read, t))
@@ -209,11 +215,11 @@ mod tests {
         // Linearity: successive increments are similar (within 35%).
         let d1 = means[2] - means[0];
         let d2 = means[4] - means[2];
-        assert!(means.windows(2).all(|w| w[0] < w[1]), "not monotone {means:?}");
         assert!(
-            (d1 - d2).abs() / d1.max(d2) < 0.35,
-            "not linear: {means:?}"
+            means.windows(2).all(|w| w[0] < w[1]),
+            "not monotone {means:?}"
         );
+        assert!((d1 - d2).abs() / d1.max(d2) < 0.35, "not linear: {means:?}");
     }
 
     #[test]

@@ -65,7 +65,11 @@ use std::any::Any;
 /// non-decreasing arrival order, and each submission immediately returns
 /// the completion time (internal queueing — chips, head, links, the memory
 /// bus — is modelled with busy-until horizons).
-pub trait StorageDevice {
+///
+/// `Send` is a supertrait so whole simulations (which own
+/// `Box<dyn StorageDevice>` per datastore) can move onto worker threads
+/// of the scenario-parallel driver.
+pub trait StorageDevice: Send {
     /// Which tier this device belongs to.
     fn kind(&self) -> DeviceKind;
 

@@ -316,7 +316,9 @@ impl NvdimmDevice {
         // Table 1 lists ~5 µs NVDIMM writes vs 650 µs NAND programs).
         for i in 0..req.size_blocks as u64 {
             let block = req.block + i;
-            let outcome = self.cache.access_classified(block, true, AccessClass::Normal);
+            let outcome = self
+                .cache
+                .access_classified(block, true, AccessClass::Normal);
             self.handle_eviction(outcome.evicted, now);
         }
         // Ordered persistence lane: every barrier_interval-th write flushes
@@ -434,7 +436,7 @@ mod tests {
             for i in 0..200u64 {
                 let c = d.submit(&read(i * 3 % 1000, t));
                 sum += c.latency.as_us_f64();
-                t = t + SimDuration::from_us(500);
+                t += SimDuration::from_us(500);
             }
             lats.push(sum / 200.0);
         }
@@ -452,12 +454,10 @@ mod tests {
         d.submit(&m);
         assert!(d.cache().contains(42));
 
-        let mut d2 = NvdimmDevice::new(NvdimmConfig::small_test().with_tuning(
-            MigrationTuning {
-                cache_bypass: true,
-                sched_optimization: false,
-            },
-        ));
+        let mut d2 = NvdimmDevice::new(NvdimmConfig::small_test().with_tuning(MigrationTuning {
+            cache_bypass: true,
+            sched_optimization: false,
+        }));
         d2.submit(&m);
         assert!(!d2.cache().contains(42));
     }
@@ -465,17 +465,16 @@ mod tests {
     #[test]
     fn migration_writes_faster_with_sched_optimization() {
         let run = |opt: bool| -> SimTime {
-            let mut d = NvdimmDevice::new(NvdimmConfig::small_test().with_tuning(
-                MigrationTuning {
+            let mut d =
+                NvdimmDevice::new(NvdimmConfig::small_test().with_tuning(MigrationTuning {
                     cache_bypass: true,
                     sched_optimization: opt,
-                },
-            ));
+                }));
             // Persistent write stream creates a chain.
             let mut t = SimTime::ZERO;
             for i in 0..64u64 {
                 d.submit(&write(i, t));
-                t = t + SimDuration::from_us(10);
+                t += SimDuration::from_us(10);
             }
             // Burst of migration writes.
             let mut last = SimTime::ZERO;
@@ -501,7 +500,7 @@ mod tests {
         let mut t = SimTime::ZERO;
         for i in 0..64u64 {
             d.submit(&write(i, t));
-            t = t + SimDuration::from_us(10);
+            t += SimDuration::from_us(10);
         }
         assert!(d.write_backs() > 0);
     }
@@ -530,16 +529,13 @@ mod tests {
             for i in 0..200u64 {
                 let c = d.submit(&read(i * 7 % 2_000, t));
                 sum += c.latency.as_us_f64();
-                t = t + SimDuration::from_us(200);
+                t += SimDuration::from_us(200);
             }
             sum / 200.0
         };
         let block = run(false);
         let dax = run(true);
-        assert!(
-            dax < block,
-            "DAX path not faster: {dax} vs {block}"
-        );
+        assert!(dax < block, "DAX path not faster: {dax} vs {block}");
     }
 
     #[test]

@@ -123,8 +123,7 @@ impl SsdDevice {
         let matched = windows
             .iter()
             .position(|&(lo, hi)| req.block >= lo && req.block <= hi);
-        let in_window =
-            matched.is_some_and(|i| end <= windows[i].1);
+        let in_window = matched.is_some_and(|i| end <= windows[i].1);
 
         match matched {
             Some(i) => {
@@ -288,7 +287,7 @@ mod tests {
                     d.submit(&IoRequest::normal(0, seq_cursor, 1, IoOp::Read, t))
                 };
                 sum += c.latency.as_us_f64();
-                t = t + SimDuration::from_us(2); // fixed offered rate
+                t += SimDuration::from_us(2); // fixed offered rate
             }
             means.push(sum / n as f64);
         }

@@ -306,10 +306,7 @@ mod tests {
     fn lifetime_percentiles_track_distribution() {
         let mut s = DeviceStats::new();
         for i in 1..=100u64 {
-            s.record(
-                &req(0, i * 13, 1, IoOp::Read),
-                SimDuration::from_us(i * 10),
-            );
+            s.record(&req(0, i * 13, 1, IoOp::Read), SimDuration::from_us(i * 10));
         }
         let p50 = s.lifetime_percentile_us(50.0);
         let p99 = s.lifetime_percentile_us(99.0);

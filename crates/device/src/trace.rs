@@ -36,7 +36,11 @@ impl TraceRecord {
             stream: self.stream,
             block: self.block,
             size_blocks: self.size_blocks,
-            op: if self.is_write { IoOp::Write } else { IoOp::Read },
+            op: if self.is_write {
+                IoOp::Write
+            } else {
+                IoOp::Read
+            },
             arrival: base + SimDuration::from_ns(self.arrival_ns),
             class: if self.is_migrated {
                 AccessClass::Migrated

@@ -1,10 +1,9 @@
 //! `diag` — per-policy diagnostic dump for the standard mix: device
 //! breakdowns, migration counters, cache hit-ratio and latency series.
 //! Set `NVHSM_TRACE=1` to additionally trace every migration decision.
+use nvhsm_core::PolicyKind;
 use nvhsm_experiments::harness::Scale;
 use nvhsm_experiments::mix::{run_mix, MixParams};
-use nvhsm_core::PolicyKind;
-
 
 fn main() {
     for policy in [
@@ -34,9 +33,23 @@ fn main() {
                 d.kind, d.node, d.io_count, d.mean_latency_us
             );
         }
-        println!("    nvdimm hit ratio series tail: {:?}",
-            r.nvdimm_hit_ratio.iter().rev().take(3).map(|x| (x.1 * 100.0) as i64).collect::<Vec<_>>());
-        println!("    nvdimm epoch latency tail: {:?}",
-            r.nvdimm_latency_series.iter().rev().take(8).map(|x| *x as i64).collect::<Vec<_>>());
+        println!(
+            "    nvdimm hit ratio series tail: {:?}",
+            r.nvdimm_hit_ratio
+                .iter()
+                .rev()
+                .take(3)
+                .map(|x| (x.1 * 100.0) as i64)
+                .collect::<Vec<_>>()
+        );
+        println!(
+            "    nvdimm epoch latency tail: {:?}",
+            r.nvdimm_latency_series
+                .iter()
+                .rev()
+                .take(8)
+                .map(|x| *x as i64)
+                .collect::<Vec<_>>()
+        );
     }
 }

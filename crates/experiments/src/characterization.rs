@@ -41,11 +41,11 @@ fn characterize(benchmark: Benchmark, n: usize) -> [f64; 5] {
         }
     }
     [
-        writes as f64 / n as f64,                              // wr_ratio
-        1.0 - seq_reads as f64 / reads.max(1) as f64,          // rd_rand
-        1.0 - seq_writes as f64 / writes.max(1) as f64,        // wr_rand
-        blocks as f64 / n as f64,                              // mean IOS
-        n as f64 / last_t.max(1e-9),                           // IOPS
+        writes as f64 / n as f64,                       // wr_ratio
+        1.0 - seq_reads as f64 / reads.max(1) as f64,   // rd_rand
+        1.0 - seq_writes as f64 / writes.max(1) as f64, // wr_rand
+        blocks as f64 / n as f64,                       // mean IOS
+        n as f64 / last_t.max(1e-9),                    // IOPS
     ]
 }
 

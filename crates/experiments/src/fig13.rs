@@ -3,7 +3,7 @@
 //! nodes, normalized to BASIL.
 
 use crate::harness::{ExperimentResult, Row, Scale};
-use crate::mix::{run_mix_avg, seeds_for, MixParams};
+use crate::mix::{run_mix_avg_grid, seeds_for, MixParams};
 use nvhsm_core::PolicyKind;
 
 const POLICIES: [PolicyKind; 5] = [
@@ -22,15 +22,21 @@ pub fn run(scale: Scale) -> ExperimentResult {
         POLICIES.iter().map(|p| p.to_string()).collect(),
     );
     let seeds = seeds_for(scale);
-    for (env, nodes) in [("single", 1usize), ("multi", 3)] {
+    let envs = [("single", 1usize), ("multi", 3)];
+    let cases: Vec<MixParams> = envs
+        .iter()
+        .flat_map(|&(_, nodes)| {
+            POLICIES.map(|policy| {
+                let mut params = MixParams::with_arrivals(policy);
+                params.nodes = nodes;
+                params
+            })
+        })
+        .collect();
+    let summaries = run_mix_avg_grid(cases, scale, &seeds);
+    for ((env, _), chunk) in envs.into_iter().zip(summaries.chunks(POLICIES.len())) {
         let mut times = Vec::new();
-        let mut raw = Vec::new();
-        for policy in POLICIES {
-            let mut params = MixParams::with_arrivals(policy);
-            params.nodes = nodes;
-            let summary = run_mix_avg(params, scale, &seeds);
-            raw.push(summary.migration_busy_s);
-        }
+        let raw: Vec<f64> = chunk.iter().map(|s| s.migration_busy_s).collect();
         let basil = raw[0].max(1e-9);
         for t in &raw {
             times.push(t / basil);

@@ -32,7 +32,7 @@ fn trace_for(benchmark: Benchmark, n: usize, seed: u64) -> Vec<WriteRequest> {
         let migrated = pos < burst_len;
         if !migrated {
             persistent_seen += 1;
-            if persistent_seen % barrier_every == 0 {
+            if persistent_seen.is_multiple_of(barrier_every) {
                 epoch += 1;
             }
         }
@@ -71,9 +71,13 @@ pub fn run(scale: Scale) -> ExperimentResult {
     );
 
     let mut sums = [0.0f64; 3];
-    for (bi, &b) in Benchmark::ALL.iter().enumerate() {
+    // One grid point per benchmark: each point simulates its trace under
+    // all four policies (the trace is shared within the point).
+    let grid: Vec<(usize, Benchmark)> = Benchmark::ALL.iter().copied().enumerate().collect();
+    let cfg_ref = &cfg;
+    let rows = nvhsm_sim::parallel::map_grid(grid, move |(bi, b)| {
         let trace = trace_for(b, n, 140 + bi as u64);
-        let base = simulate(&cfg, &trace, SchedPolicy::Baseline);
+        let base = simulate(cfg_ref, &trace, SchedPolicy::Baseline);
         // The paper's metric is I/O performance across the served writes
         // (makespan is work-conserving-invariant, latency is not): the
         // request-weighted mean over persistent and migrated writes.
@@ -81,20 +85,25 @@ pub fn run(scale: Scale) -> ExperimentResult {
             0.85 * s.persistent_mean_us + 0.15 * s.migrated_mean_us
         };
         let speedup = |p: SchedPolicy| -> f64 {
-            let s = simulate(&cfg, &trace, p);
+            let s = simulate(cfg_ref, &trace, p);
             mean_lat(&base) / mean_lat(&s).max(1e-9)
         };
-        let row = [
+        [
             speedup(SchedPolicy::PolicyOne),
             speedup(SchedPolicy::PolicyTwo),
             speedup(SchedPolicy::Both),
-        ];
+        ]
+    });
+    for (b, row) in Benchmark::ALL.iter().zip(rows) {
         for (s, v) in sums.iter_mut().zip(row.iter()) {
             *s += v;
         }
         result.push_row(Row::new(b.name(), row.to_vec()));
     }
-    let avg: Vec<f64> = sums.iter().map(|s| s / Benchmark::ALL.len() as f64).collect();
+    let avg: Vec<f64> = sums
+        .iter()
+        .map(|s| s / Benchmark::ALL.len() as f64)
+        .collect();
     result.push_row(Row::new("average", avg.clone()));
     result.note(format!(
         "average speedups: P1 {:.1}%, P2 {:.1}%, both {:.1}% (paper: ~8%, ~7%, ~14%)",
@@ -114,7 +123,14 @@ mod tests {
         let r = run(Scale::Quick);
         let avg = r.rows.last().unwrap();
         assert!(avg.values[0] > 1.0, "P1 speedup {:?}", avg.values);
-        assert!(avg.values[2] >= avg.values[0] * 0.98, "both should be competitive with P1");
-        assert!(avg.values[2] > 1.02, "combined speedup too small: {:?}", avg.values);
+        assert!(
+            avg.values[2] >= avg.values[0] * 0.98,
+            "both should be competitive with P1"
+        );
+        assert!(
+            avg.values[2] > 1.02,
+            "combined speedup too small: {:?}",
+            avg.values
+        );
     }
 }

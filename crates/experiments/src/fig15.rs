@@ -33,7 +33,7 @@ fn hit_ratio_series(bypass: bool, devices: usize, n_requests: usize, seed: u64) 
         for _ in 0..4 * hot_blocks {
             let req = IoRequest::normal(0, rng.below(hot_blocks), 1, IoOp::Read, t);
             d.submit(&req);
-            t = t + SimDuration::from_us(50);
+            t += SimDuration::from_us(50);
         }
     }
     let mut last = vec![(0u64, 0u64); devices];
@@ -57,7 +57,7 @@ fn hit_ratio_series(bypass: bool, devices: usize, n_requests: usize, seed: u64) 
             d.submit(&mig);
             sweep_cursor += 1;
         }
-        t = t + SimDuration::from_us(80);
+        t += SimDuration::from_us(80);
 
         if (i + 1) % window == 0 {
             // Aggregate hit ratio delta across devices.
@@ -89,10 +89,21 @@ pub fn run(scale: Scale) -> ExperimentResult {
         "NVDIMM buffer-cache hit ratio under migration (Fig. 15)",
         (0..12).map(|i| format!("w{i}")).collect(),
     );
-    let single_lrfu = hit_ratio_series(false, 1, n, 15);
-    let single_bypass = hit_ratio_series(true, 1, n, 15);
-    let multi_lrfu = hit_ratio_series(false, 3, n, 16);
-    let multi_bypass = hit_ratio_series(true, 3, n, 16);
+    // Four independent panels — one grid point each.
+    let panels = vec![
+        (false, 1, 15u64),
+        (true, 1, 15),
+        (false, 3, 16),
+        (true, 3, 16),
+    ];
+    let mut series = nvhsm_sim::parallel::map_grid(panels, move |(bypass, devices, seed)| {
+        hit_ratio_series(bypass, devices, n, seed)
+    })
+    .into_iter();
+    let single_lrfu = series.next().unwrap();
+    let single_bypass = series.next().unwrap();
+    let multi_lrfu = series.next().unwrap();
+    let multi_bypass = series.next().unwrap();
 
     let tail_mean = |v: &[f64]| -> f64 {
         let tail = &v[v.len() / 2..];
@@ -132,7 +143,8 @@ mod tests {
         };
         let lrfu = get("single_lrfu");
         let bypass = get("single_bypass");
-        let tail = |v: &[f64]| v[v.len() / 2..].iter().sum::<f64>() / (v.len() - v.len() / 2) as f64;
+        let tail =
+            |v: &[f64]| v[v.len() / 2..].iter().sum::<f64>() / (v.len() - v.len() / 2) as f64;
         assert!(
             tail(&bypass) > 0.85,
             "bypassing cache degraded: {:?}",

@@ -22,7 +22,7 @@ fn run_one(tuning: MigrationTuning, benchmark: Benchmark, n: usize, seed: u64) -
     let mut t = SimTime::ZERO;
     for _ in 0..3 * hot {
         dev.submit(&IoRequest::normal(0, rng.below(hot), 1, IoOp::Read, t));
-        t = t + SimDuration::from_us(40);
+        t += SimDuration::from_us(40);
     }
 
     let mut sum = 0.0;
@@ -54,7 +54,7 @@ fn run_one(tuning: MigrationTuning, benchmark: Benchmark, n: usize, seed: u64) -
             dev.submit(&IoRequest::migrated(9, mig_in % span, 1, IoOp::Write, t));
             mig_in += 1;
         }
-        t = t + SimDuration::from_us(120);
+        t += SimDuration::from_us(120);
     }
     sum / count
 }
@@ -89,11 +89,15 @@ pub fn run(scale: Scale) -> ExperimentResult {
         combos.iter().map(|(l, _)| l.to_string()).collect(),
     );
     let mut sums = [0.0f64; 4];
-    for (bi, &b) in Benchmark::ALL.iter().enumerate() {
-        let lats: Vec<f64> = combos
-            .iter()
-            .map(|&(_, t)| run_one(t, b, n, 160 + bi as u64))
-            .collect();
+    // Flat benchmarks × combos grid (32 independent device simulations).
+    let grid: Vec<(MigrationTuning, Benchmark, u64)> = Benchmark::ALL
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, &b)| combos.iter().map(move |&(_, t)| (t, b, 160 + bi as u64)))
+        .collect();
+    let lat_grid =
+        nvhsm_sim::parallel::map_grid(grid, move |(tuning, b, seed)| run_one(tuning, b, n, seed));
+    for (b, lats) in Benchmark::ALL.iter().zip(lat_grid.chunks(combos.len())) {
         // Speedup over the baseline combo.
         let speedups: Vec<f64> = lats.iter().map(|&l| lats[0] / l).collect();
         for (s, v) in sums.iter_mut().zip(speedups.iter()) {
@@ -101,7 +105,10 @@ pub fn run(scale: Scale) -> ExperimentResult {
         }
         result.push_row(Row::new(b.name(), speedups));
     }
-    let avg: Vec<f64> = sums.iter().map(|s| s / Benchmark::ALL.len() as f64).collect();
+    let avg: Vec<f64> = sums
+        .iter()
+        .map(|s| s / Benchmark::ALL.len() as f64)
+        .collect();
     result.push_row(Row::new("average", avg.clone()));
     result.note(format!(
         "average combined speedup {:.1}% (paper: up to 45%, avg ~32%)",
@@ -120,6 +127,9 @@ mod tests {
         let avg = r.rows.last().unwrap();
         let (sched, bypass, both) = (avg.values[1], avg.values[2], avg.values[3]);
         assert!(both > 1.05, "combined speedup {both}");
-        assert!(both >= sched.max(bypass) * 0.98, "combined {both} vs {sched}/{bypass}");
+        assert!(
+            both >= sched.max(bypass) * 0.98,
+            "combined {both} vs {sched}/{bypass}"
+        );
     }
 }

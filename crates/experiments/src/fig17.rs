@@ -2,7 +2,7 @@
 //! optimization vs BASIL, as workload speedup.
 
 use crate::harness::{ExperimentResult, Row, Scale};
-use crate::mix::{run_mix_avg, seeds_for, MixParams};
+use crate::mix::{run_mix_avg_grid, seeds_for, MixParams};
 use nvhsm_core::PolicyKind;
 
 const POLICIES: [PolicyKind; 4] = [
@@ -20,14 +20,15 @@ pub fn run(scale: Scale) -> ExperimentResult {
         vec!["speedup".into(), "mean_lat_us".into(), "mig_time_s".into()],
     );
     let seeds = seeds_for(scale);
-    let mut lats = Vec::new();
-    for policy in POLICIES {
-        // The paper's "putting it all together" runs the same standard mix
-        // as Fig. 12; the steady scenario is where the contention-driven
-        // differences accumulate.
-        let summary = run_mix_avg(MixParams::standard(policy), scale, &seeds);
-        lats.push((policy, summary.mean_latency_us, summary.migration_busy_s));
-    }
+    // The paper's "putting it all together" runs the same standard mix
+    // as Fig. 12; the steady scenario is where the contention-driven
+    // differences accumulate.
+    let summaries = run_mix_avg_grid(POLICIES.map(MixParams::standard).to_vec(), scale, &seeds);
+    let lats: Vec<_> = POLICIES
+        .into_iter()
+        .zip(summaries)
+        .map(|(policy, s)| (policy, s.mean_latency_us, s.migration_busy_s))
+        .collect();
     let basil = lats[0].1.max(1e-9);
     for (policy, lat, mig) in &lats {
         result.push_row(Row::new(

@@ -27,11 +27,11 @@ pub fn run(scale: Scale) -> ExperimentResult {
     );
     result.push_row(Row::new(
         "nvdimm_latency_us",
-        report.nvdimm_latency_series.clone(),
+        report.nvdimm_latency_series.to_vec(),
     ));
     result.push_row(Row::new(
         "bus_utilization",
-        report.bus_utilization_series.clone(),
+        report.bus_utilization_series.to_vec(),
     ));
 
     // Correlation between the two series is the figure's message.

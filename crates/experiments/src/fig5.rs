@@ -55,7 +55,7 @@ fn latency_at_randomness(
             dev.submit(&IoRequest::normal(0, cursor % span, 1, IoOp::Read, t))
         };
         sum += c.latency.as_us_f64();
-        t = t + gap;
+        t += gap;
     }
     sum / n as f64
 }
@@ -84,7 +84,10 @@ pub fn run(scale: Scale) -> ExperimentResult {
         dev.prefill(0..dev.logical_blocks() / 2);
         ssd_oio.push(latency_at_oio(&mut dev, q, n / 10, &mut rng));
     }
-    result.push_row(Row::new("a_ssd_oio_x", oios.iter().map(|&x| x as f64).collect()));
+    result.push_row(Row::new(
+        "a_ssd_oio_x",
+        oios.iter().map(|&x| x as f64).collect(),
+    ));
     result.push_row(Row::new("a_ssd_oio_us", ssd_oio.clone()));
 
     // (b) SSD latency vs read randomness.

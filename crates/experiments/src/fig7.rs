@@ -70,7 +70,7 @@ fn run_panel(model: &PerfModel, initial_fill: f64, scale: Scale, seed: u64) -> P
                 panel.with_traffic.push(e_noisy.mean_latency_us());
                 panel.without_traffic.push(e_quiet.mean_latency_us());
             }
-            next_epoch = next_epoch + epoch;
+            next_epoch += epoch;
             if panel.predicted.len() >= epochs {
                 return panel;
             }

@@ -90,7 +90,10 @@ mod tests {
         // RG (migrated, channel 2, last epoch) also jumps ahead.
         let rg_base = r.value("a_baseline", 6).unwrap();
         let rg_p1 = r.value("b_policy_one", 6).unwrap();
-        assert!(rg_p1 < rg_base, "RG not earlier under P1: {rg_p1} vs {rg_base}");
+        assert!(
+            rg_p1 < rg_base,
+            "RG not earlier under P1: {rg_p1} vs {rg_base}"
+        );
         // Nothing finishes later than it did under the baseline.
         for i in 0..8 {
             let base = r.value("a_baseline", i).unwrap();

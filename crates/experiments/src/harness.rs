@@ -174,11 +174,7 @@ mod tests {
 
     #[test]
     fn render_aligns_and_lists_notes() {
-        let mut r = ExperimentResult::new(
-            "t",
-            "demo",
-            vec!["a".into(), "b".into()],
-        );
+        let mut r = ExperimentResult::new("t", "demo", vec!["a".into(), "b".into()]);
         r.push_row(Row::new("row1", vec![1.0, 12345.0]));
         r.note("hello");
         let s = r.render();

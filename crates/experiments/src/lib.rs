@@ -28,7 +28,6 @@
 
 pub mod characterization;
 pub mod fig10;
-pub mod fig9;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
@@ -38,6 +37,7 @@ pub mod fig17;
 pub mod fig4;
 pub mod fig5;
 pub mod fig7;
+pub mod fig9;
 pub mod harness;
 pub mod mix;
 pub mod placement;
@@ -50,8 +50,23 @@ pub use harness::{ExperimentResult, Row, Scale};
 
 /// All experiment ids, in paper order.
 pub const ALL_EXPERIMENTS: [&str; 17] = [
-    "table1", "table2", "fig4", "fig5", "table3", "fig7", "fig10", "fig12", "tau", "fig13",
-    "fig14", "fig15", "fig16", "fig17", "placement", "characterization", "fig9",
+    "table1",
+    "table2",
+    "fig4",
+    "fig5",
+    "table3",
+    "fig7",
+    "fig10",
+    "fig12",
+    "tau",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "placement",
+    "characterization",
+    "fig9",
 ];
 
 /// Runs one experiment by id.

@@ -1,52 +1,142 @@
 //! CLI for the experiment harnesses.
 //!
 //! ```text
-//! experiments <id>... [--quick] [--json]
-//! experiments all [--quick]
+//! experiments <id>... [--quick] [--jobs N] [--json [DIR]] [--csv]
+//! experiments all [--quick] [--jobs N]
 //! experiments list
 //! ```
+//!
+//! `--jobs N` caps the scenario-parallel driver at `N` workers (`--jobs 1`
+//! forces fully serial execution; output is byte-identical either way).
+//! `--json` prints JSON to stdout; `--json DIR` writes one
+//! `DIR/<id>.json` file per experiment instead.
 
 use nvhsm_experiments::{run_experiment, Scale, ALL_EXPERIMENTS};
+use std::path::PathBuf;
 use std::process::ExitCode;
+
+struct Cli {
+    ids: Vec<String>,
+    quick: bool,
+    json: bool,
+    json_dir: Option<PathBuf>,
+    csv: bool,
+    jobs: Option<usize>,
+}
+
+fn usage() {
+    eprintln!("usage: experiments <id>... [--quick] [--jobs N] [--json [DIR]] [--csv]");
+    eprintln!("known experiments: {}", ALL_EXPERIMENTS.join(", "));
+    eprintln!("`all` runs everything in paper order");
+    eprintln!("`--jobs N` caps parallel workers (1 = serial; same output either way)");
+    eprintln!("`--json DIR` writes DIR/<id>.json per experiment instead of stdout");
+}
+
+fn is_experiment_word(word: &str) -> bool {
+    word == "all" || word == "list" || ALL_EXPERIMENTS.contains(&word)
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        ids: Vec::new(),
+        quick: false,
+        json: false,
+        json_dir: None,
+        csv: false,
+        jobs: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--quick" => cli.quick = true,
+            "--csv" => cli.csv = true,
+            "--json" => {
+                cli.json = true;
+                // An optional value: anything that is not a flag and not an
+                // experiment name is the output directory.
+                if let Some(next) = args.get(i + 1) {
+                    if !next.starts_with("--") && !is_experiment_word(next) {
+                        cli.json_dir = Some(PathBuf::from(next));
+                        i += 1;
+                    }
+                }
+            }
+            "--jobs" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--jobs needs a value".to_string())?;
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("--jobs expects a positive integer, got {value:?}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                cli.jobs = Some(n);
+                i += 1;
+            }
+            _ if arg.starts_with("--") => {
+                return Err(format!("unknown flag {arg:?}"));
+            }
+            _ => cli.ids.push(arg.to_string()),
+        }
+        i += 1;
+    }
+    Ok(cli)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let json = args.iter().any(|a| a == "--json");
-    let csv = args.iter().any(|a| a == "--csv");
-    let scale = if quick { Scale::Quick } else { Scale::Full };
-    let ids: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let cli = match parse(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
 
-    if ids.is_empty() || ids == ["list"] {
-        eprintln!("usage: experiments <id>... [--quick] [--json] [--csv]");
-        eprintln!("known experiments: {}", ALL_EXPERIMENTS.join(", "));
-        eprintln!("`all` runs everything in paper order");
-        return if ids == ["list"] {
+    if cli.ids.is_empty() || cli.ids == ["list"] {
+        usage();
+        return if cli.ids == ["list"] {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE
         };
     }
 
-    let ids: Vec<&str> = if ids == ["all"] {
+    nvhsm_sim::parallel::set_jobs(cli.jobs);
+    let scale = if cli.quick { Scale::Quick } else { Scale::Full };
+    let ids: Vec<&str> = if cli.ids == ["all"] {
         ALL_EXPERIMENTS.to_vec()
     } else {
-        ids
+        cli.ids.iter().map(String::as_str).collect()
     };
+
+    if let Some(dir) = &cli.json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
 
     for id in ids {
         match run_experiment(id, scale) {
             Ok(result) => {
-                if json {
+                if let Some(dir) = &cli.json_dir {
+                    let path = dir.join(format!("{id}.json"));
+                    let body = serde_json::to_string_pretty(&result).expect("serializable result");
+                    if let Err(e) = std::fs::write(&path, body) {
+                        eprintln!("error: cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote {}", path.display());
+                } else if cli.json {
                     println!(
                         "{}",
                         serde_json::to_string_pretty(&result).expect("serializable result")
                     );
-                } else if csv {
+                } else if cli.csv {
                     println!("{}", result.to_csv());
                 } else {
                     println!("{}", result.render());

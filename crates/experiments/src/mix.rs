@@ -150,30 +150,57 @@ pub fn run_mix(params: MixParams, scale: Scale) -> NodeReport {
     }
 }
 
+/// Runs many mix configurations as one scenario grid, in parallel, and
+/// returns the reports in input order (see `nvhsm_sim::parallel`).
+pub fn run_mix_grid(cases: Vec<MixParams>, scale: Scale) -> Vec<NodeReport> {
+    nvhsm_sim::parallel::map_grid(cases, move |p| run_mix(p, scale))
+}
+
+/// Runs every case over every seed — one flat cases × seeds grid across
+/// all cores — and averages the headline metrics per case, in case order.
+pub fn run_mix_avg_grid(cases: Vec<MixParams>, scale: Scale, seeds: &[u64]) -> Vec<MixSummary> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let flat: Vec<MixParams> = cases
+        .iter()
+        .flat_map(|&case| {
+            seeds.iter().map(move |&seed| {
+                let mut p = case;
+                p.seed = seed;
+                p
+            })
+        })
+        .collect();
+    let reports = run_mix_grid(flat, scale);
+    reports
+        .chunks(seeds.len())
+        .map(|chunk| {
+            let mut acc = MixSummary::default();
+            for r in chunk {
+                acc.mean_latency_us += r.mean_latency_us;
+                acc.migration_busy_s += r.migration_time.as_secs_f64();
+                acc.migration_wall_s += r.migration_wall_time.as_secs_f64();
+                acc.migrations_started += r.migrations_started as f64;
+                acc.copied_blocks += r.copied_blocks as f64;
+                acc.mirrored_blocks += r.mirrored_blocks as f64;
+            }
+            let n = chunk.len() as f64;
+            MixSummary {
+                mean_latency_us: acc.mean_latency_us / n,
+                migration_busy_s: acc.migration_busy_s / n,
+                migration_wall_s: acc.migration_wall_s / n,
+                migrations_started: acc.migrations_started / n,
+                copied_blocks: acc.copied_blocks / n,
+                mirrored_blocks: acc.mirrored_blocks / n,
+            }
+        })
+        .collect()
+}
+
 /// Runs the mix over several seeds and averages the headline metrics.
 pub fn run_mix_avg(params: MixParams, scale: Scale, seeds: &[u64]) -> MixSummary {
-    assert!(!seeds.is_empty(), "need at least one seed");
-    let mut acc = MixSummary::default();
-    for &seed in seeds {
-        let mut p = params;
-        p.seed = seed;
-        let r = run_mix(p, scale);
-        acc.mean_latency_us += r.mean_latency_us;
-        acc.migration_busy_s += r.migration_time.as_secs_f64();
-        acc.migration_wall_s += r.migration_wall_time.as_secs_f64();
-        acc.migrations_started += r.migrations_started as f64;
-        acc.copied_blocks += r.copied_blocks as f64;
-        acc.mirrored_blocks += r.mirrored_blocks as f64;
-    }
-    let n = seeds.len() as f64;
-    MixSummary {
-        mean_latency_us: acc.mean_latency_us / n,
-        migration_busy_s: acc.migration_busy_s / n,
-        migration_wall_s: acc.migration_wall_s / n,
-        migrations_started: acc.migrations_started / n,
-        copied_blocks: acc.copied_blocks / n,
-        mirrored_blocks: acc.mirrored_blocks / n,
-    }
+    run_mix_avg_grid(vec![params], scale, seeds)
+        .pop()
+        .expect("one case in, one summary out")
 }
 
 /// The seed set for averaged runs at a given scale.

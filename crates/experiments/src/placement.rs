@@ -31,10 +31,7 @@ fn run_one(placed: bool, manage: bool, scale: Scale, seed: u64) -> (f64, f64) {
         }
     }
     let report = sim.run_secs(scale.horizon_secs());
-    (
-        report.mean_latency_us,
-        report.migration_time.as_secs_f64(),
-    )
+    (report.mean_latency_us, report.migration_time.as_secs_f64())
 }
 
 /// Compares random vs Eq. 4 placement, unmanaged and managed.
@@ -45,19 +42,23 @@ pub fn run(scale: Scale) -> ExperimentResult {
         vec!["mean_lat_us".into(), "mig_time_s".into()],
     );
     let seeds = [42u64, 1042, 2042];
-    for (label, placed, manage) in [
+    let combos = [
         ("random_unmanaged", false, false),
         ("eq4_unmanaged", true, false),
         ("random_managed", false, true),
         ("eq4_managed", true, true),
-    ] {
-        let mut lat = 0.0;
-        let mut mig = 0.0;
-        for &seed in &seeds {
-            let (l, m) = run_one(placed, manage, scale, seed);
-            lat += l;
-            mig += m;
-        }
+    ];
+    // Flat combos × seeds grid across all cores.
+    let grid: Vec<(bool, bool, u64)> = combos
+        .iter()
+        .flat_map(|&(_, placed, manage)| seeds.iter().map(move |&s| (placed, manage, s)))
+        .collect();
+    let outcomes = nvhsm_sim::parallel::map_grid(grid, move |(placed, manage, seed)| {
+        run_one(placed, manage, scale, seed)
+    });
+    for ((label, _, _), chunk) in combos.into_iter().zip(outcomes.chunks(seeds.len())) {
+        let lat: f64 = chunk.iter().map(|&(l, _)| l).sum();
+        let mig: f64 = chunk.iter().map(|&(_, m)| m).sum();
         result.push_row(Row::new(
             label,
             vec![lat / seeds.len() as f64, mig / seeds.len() as f64],

@@ -43,11 +43,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "table1",
         "Device comparison: measured latencies and capacity (Table 1)",
-        vec![
-            "read_us".into(),
-            "write_us".into(),
-            "capacity_gb".into(),
-        ],
+        vec!["read_us".into(), "write_us".into(), "capacity_gb".into()],
     );
     // Full-geometry devices are memory-hungry (the 256 GB NVDIMM maps 64 M
     // pages); probe scaled devices with identical timing instead and report

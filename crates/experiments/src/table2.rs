@@ -6,7 +6,7 @@
 //! causes: `1 − time_without / time_with`.
 
 use crate::harness::{ExperimentResult, Row, Scale};
-use crate::mix::{run_mix_avg, seeds_for, MixParams};
+use crate::mix::{run_mix_avg_grid, seeds_for, MixParams};
 use nvhsm_core::PolicyKind;
 use nvhsm_workload::SpecProgram;
 
@@ -24,14 +24,29 @@ pub fn run(scale: Scale) -> ExperimentResult {
         ],
     );
     let seeds = seeds_for(scale);
-    for (env, nodes) in [("single", 1usize), ("multi", 3)] {
-        for policy in [PolicyKind::Basil, PolicyKind::Pesto, PolicyKind::LightSrm] {
-            let mut params = MixParams::standard(policy);
-            params.nodes = nodes;
-            params.spec = Some(SpecProgram::Mcf429);
-            let with = run_mix_avg(params, scale, &seeds);
-            params.spec = None;
-            let without = run_mix_avg(params, scale, &seeds);
+    let envs = [("single", 1usize), ("multi", 3)];
+    let policies = [PolicyKind::Basil, PolicyKind::Pesto, PolicyKind::LightSrm];
+    // Flat env × policy × {with,without} grid: each pair of consecutive
+    // cases is one scheme with and without the co-runner.
+    let cases: Vec<MixParams> = envs
+        .iter()
+        .flat_map(|&(_, nodes)| {
+            policies.iter().flat_map(move |&policy| {
+                [Some(SpecProgram::Mcf429), None].map(|spec| {
+                    let mut params = MixParams::standard(policy);
+                    params.nodes = nodes;
+                    params.spec = spec;
+                    params
+                })
+            })
+        })
+        .collect();
+    let summaries = run_mix_avg_grid(cases, scale, &seeds);
+    let mut pairs = summaries.chunks(2);
+    for (env, _) in envs {
+        for policy in policies {
+            let pair = pairs.next().expect("env × policy pair");
+            let (with, without) = (&pair[0], &pair[1]);
 
             let overhead = if with.migration_busy_s > 0.0 {
                 (1.0 - without.migration_busy_s / with.migration_busy_s).max(0.0) * 100.0

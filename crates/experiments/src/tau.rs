@@ -2,7 +2,7 @@
 //! migrations (less overhead) but leaves the devices less balanced.
 
 use crate::harness::{ExperimentResult, Row, Scale};
-use crate::mix::{run_mix_avg, seeds_for, MixParams};
+use crate::mix::{run_mix_avg_grid, seeds_for, MixParams};
 use nvhsm_core::PolicyKind;
 
 /// Sweeps τ over the paper's 0.2–0.8 range under BCA.
@@ -17,11 +17,18 @@ pub fn run(scale: Scale) -> ExperimentResult {
         ],
     );
     let seeds = seeds_for(scale);
+    let taus = [0.2, 0.35, 0.5, 0.65, 0.8];
+    let cases: Vec<MixParams> = taus
+        .iter()
+        .map(|&tau| {
+            let mut params = MixParams::with_arrivals(PolicyKind::Bca);
+            params.tau = tau;
+            params
+        })
+        .collect();
+    let summaries = run_mix_avg_grid(cases, scale, &seeds);
     let mut migs = Vec::new();
-    for tau in [0.2, 0.35, 0.5, 0.65, 0.8] {
-        let mut params = MixParams::with_arrivals(PolicyKind::Bca);
-        params.tau = tau;
-        let summary = run_mix_avg(params, scale, &seeds);
+    for (tau, summary) in taus.into_iter().zip(summaries) {
         migs.push(summary.migrations_started);
         result.push_row(Row::new(
             format!("tau_{tau:.2}"),

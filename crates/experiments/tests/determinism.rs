@@ -1,0 +1,64 @@
+//! Parallel execution must be invisible in experiment output: any table
+//! merged from a scenario grid is byte-identical whether the grid ran on
+//! one worker or many.
+
+use nvhsm_device::{IoOp, IoRequest, SsdConfig, SsdDevice, StorageDevice};
+use nvhsm_experiments::{fig12, Scale};
+use nvhsm_sim::{parallel, SimDuration, SimRng, SimTime};
+use std::sync::Mutex;
+
+/// The jobs override is process-global; tests that flip it take this lock
+/// so each one really exercises the worker count it configures.
+static JOBS_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn fig12_output_is_byte_identical_across_job_counts() {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    parallel::set_jobs(Some(1));
+    let serial = fig12::run(Scale::Quick);
+    parallel::set_jobs(Some(4));
+    let parallel_run = fig12::run(Scale::Quick);
+    parallel::set_jobs(None);
+
+    // Rendered table, CSV, and serialized form: all byte-identical.
+    assert_eq!(serial.render(), parallel_run.render());
+    assert_eq!(serial.to_csv(), parallel_run.to_csv());
+    assert_eq!(
+        serde_json::to_string(&serial).expect("serializable"),
+        serde_json::to_string(&parallel_run).expect("serializable"),
+    );
+}
+
+/// A small but non-trivial device scenario; returns latencies as raw bits
+/// so the comparison below tolerates no floating-point slack at all.
+fn ssd_scenario(seed: u64) -> Vec<u64> {
+    let mut dev = SsdDevice::new(SsdConfig::small_test());
+    dev.prefill(0..dev.logical_blocks() / 4);
+    let mut rng = SimRng::new(seed);
+    let span = dev.logical_blocks() / 4;
+    let mut t = SimTime::ZERO;
+    (0..500u64)
+        .map(|i| {
+            let op = if i % 4 == 0 { IoOp::Write } else { IoOp::Read };
+            let c = dev.submit(&IoRequest::normal(0, rng.below(span), 2, op, t));
+            t += SimDuration::from_us(30);
+            c.latency.as_us_f64().to_bits()
+        })
+        .collect()
+}
+
+#[test]
+fn random_scenario_grids_match_serial_bit_for_bit() {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    let mut rng = SimRng::new(0xD5);
+    for round in 0..3 {
+        let grid_len = 5 + round * 7;
+        let seeds: Vec<u64> = (0..grid_len).map(|_| rng.next_u64()).collect();
+        parallel::set_jobs(Some(1));
+        let serial = parallel::map_grid(seeds.clone(), ssd_scenario);
+        parallel::set_jobs(Some(1 + grid_len / 2));
+        let fanned = parallel::map_grid(seeds, ssd_scenario);
+        parallel::set_jobs(None);
+        assert_eq!(serial, fanned, "grid of {grid_len} scenarios diverged");
+    }
+}

@@ -107,7 +107,10 @@ impl PageFtl {
     pub fn new(cfg: &FlashConfig) -> Self {
         cfg.validate().expect("invalid flash config");
         let phys_pages = cfg.total_physical_pages();
-        assert!(phys_pages < INVALID as u64, "geometry too large for u32 ppn");
+        assert!(
+            phys_pages < INVALID as u64,
+            "geometry too large for u32 ppn"
+        );
         let chips = cfg.channels * cfg.chips_per_channel;
         let total_blocks = chips as u32 * cfg.blocks_per_chip;
         PageFtl {
@@ -268,8 +271,7 @@ impl PageFtl {
             let vi = self.block_index(chip as u32, victim);
             // Relocate every valid page of the victim into the open block.
             for page in 0..self.cfg.pages_per_block {
-                let packed =
-                    (vi as u32) * self.cfg.pages_per_block + page;
+                let packed = (vi as u32) * self.cfg.pages_per_block + page;
                 let lpn = self.rmap[packed as usize];
                 if lpn == INVALID {
                     continue;

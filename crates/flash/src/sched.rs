@@ -71,11 +71,17 @@ pub enum SchedPolicy {
 
 impl SchedPolicy {
     fn migrated_exempt(self) -> bool {
-        matches!(self, SchedPolicy::PolicyOne | SchedPolicy::Both | SchedPolicy::BothNpBarrier)
+        matches!(
+            self,
+            SchedPolicy::PolicyOne | SchedPolicy::Both | SchedPolicy::BothNpBarrier
+        )
     }
 
     fn persistent_priority(self) -> bool {
-        matches!(self, SchedPolicy::PolicyTwo | SchedPolicy::Both | SchedPolicy::BothNpBarrier)
+        matches!(
+            self,
+            SchedPolicy::PolicyTwo | SchedPolicy::Both | SchedPolicy::BothNpBarrier
+        )
     }
 
     fn class_aware(self) -> bool {
@@ -220,7 +226,8 @@ fn simulate_inner(
         }
     }
 
-    // Per-channel pending request indices, kept in arrival order.
+    // Per-channel pending request indices. Unordered: dispatch picks by
+    // the (rank, arrival, id) key, never by queue position.
     let mut pending: Vec<Vec<usize>> = vec![Vec::new(); cfg.channels];
     let mut arrivals: Vec<usize> = (0..n).collect();
     arrivals.sort_by_key(|&i| (requests[i].arrival, requests[i].id));
@@ -233,7 +240,8 @@ fn simulate_inner(
         Completion { req: usize, server: usize },
     }
 
-    let mut events = EventQueue::new();
+    // Every request contributes one arrival and at most one completion.
+    let mut events = EventQueue::with_capacity(2 * n);
     for &i in &arrivals {
         events.push(requests[i].arrival, Event::Arrival(i));
     }
@@ -294,19 +302,16 @@ fn simulate_inner(
             };
 
             let mut dispatched = false;
-            for ch in 0..cfg.channels {
-                loop {
-                    // A free chip on this channel?
-                    let Some(server) = (0..cfg.chips_per_channel)
-                        .map(|w| ch * cfg.chips_per_channel + w)
-                        .find(|&s| servers[s] <= now)
-                    else {
-                        break;
-                    };
+            for (ch, chq) in pending.iter_mut().enumerate() {
+                // Keep dispatching while this channel has a free chip.
+                while let Some(server) = (0..cfg.chips_per_channel)
+                    .map(|w| ch * cfg.chips_per_channel + w)
+                    .find(|&s| servers[s] <= now)
+                {
                     // Best eligible pending request on this channel.
                     let pick = {
                         let mut best: Option<(u8, SimTime, usize, usize)> = None;
-                        for (pos, &ri) in pending[ch].iter().enumerate() {
+                        for (pos, &ri) in chq.iter().enumerate() {
                             let t = &tracked[ri];
                             if t.discarded || t.done.is_some() || !eligible(t) {
                                 continue;
@@ -326,7 +331,7 @@ fn simulate_inner(
                                 1
                             };
                             let key = (rank, t.req.arrival, ri, pos);
-                            if best.map_or(true, |b| (key.0, key.1, key.2) < (b.0, b.1, b.2)) {
+                            if best.is_none_or(|b| (key.0, key.1, key.2) < (b.0, b.1, b.2)) {
                                 best = Some(key);
                             }
                         }
@@ -339,13 +344,14 @@ fn simulate_inner(
                     // Policy-Two alias discard: dispatching a persistent
                     // write past earlier-arrived migrated writes to the same
                     // address kills those migrated writes.
+                    let mut discarded_here = false;
                     if policy.persistent_priority()
                         && rank == 1
                         && tracked[ri].req.class == WriteClass::Persistent
                     {
                         let p_arrival = tracked[ri].req.arrival;
                         let p_addr = tracked[ri].req.addr;
-                        for &other in &pending[ch] {
+                        for &other in chq.iter() {
                             if other == ri {
                                 continue;
                             }
@@ -359,12 +365,20 @@ fn simulate_inner(
                                 o.discarded = true;
                                 o.done = Some(now);
                                 discarded += 1;
+                                discarded_here = true;
                                 open_any[o.req.epoch as usize] -= 1;
                             }
                         }
                     }
 
-                    pending[ch].remove(pos);
+                    // The pick key (rank, arrival, id) never looks at queue
+                    // position, so O(1) swap_remove is order-safe here.
+                    chq.swap_remove(pos);
+                    if discarded_here {
+                        // Prune dead entries so later scans stop re-skipping
+                        // them.
+                        chq.retain(|&o| !tracked[o].discarded);
+                    }
                     servers[server] = now + cfg.service;
                     events.push(now + cfg.service, Event::Completion { req: ri, server });
                     dispatched = true;
@@ -653,11 +667,11 @@ mod prop_tests {
     fn arb_trace(max: usize) -> impl Strategy<Value = Vec<WriteRequest>> {
         proptest::collection::vec(
             (
-                proptest::bool::ANY,  // migrated?
-                0usize..4,            // channel
-                0u32..6,              // epoch
-                0u64..2_000,          // arrival us
-                0u64..64,             // addr block
+                proptest::bool::ANY, // migrated?
+                0usize..4,           // channel
+                0u32..6,             // epoch
+                0u64..2_000,         // arrival us
+                0u64..64,            // addr block
             ),
             1..max,
         )
@@ -665,18 +679,20 @@ mod prop_tests {
             items
                 .into_iter()
                 .enumerate()
-                .map(|(i, (migrated, channel, epoch, arrival, addr))| WriteRequest {
-                    id: i as u64,
-                    class: if migrated {
-                        WriteClass::Migrated
-                    } else {
-                        WriteClass::Persistent
+                .map(
+                    |(i, (migrated, channel, epoch, arrival, addr))| WriteRequest {
+                        id: i as u64,
+                        class: if migrated {
+                            WriteClass::Migrated
+                        } else {
+                            WriteClass::Persistent
+                        },
+                        channel,
+                        epoch,
+                        arrival: SimTime::from_us(arrival),
+                        addr: addr * 4096,
                     },
-                    channel,
-                    epoch,
-                    arrival: SimTime::from_us(arrival),
-                    addr: addr * 4096,
-                })
+                )
                 .collect()
         })
     }

@@ -117,16 +117,25 @@ pub struct AnalyticBus {
     line_bytes: u64,
     burst_ns: f64,
     curve: CalibrationCurve,
+    /// Fixed-step samples of `curve` at `i / LUT_STEPS` for `i = 0..=LUT_STEPS`:
+    /// `slowdown` is called per NVDIMM request, and indexing + one lerp beats
+    /// the curve's segment scan. Derived from `curve` at construction.
+    lut: Vec<f64>,
+}
+
+/// Resolution of the slowdown lookup table.
+const LUT_STEPS: usize = 1024;
+
+fn build_lut(curve: &CalibrationCurve) -> Vec<f64> {
+    (0..=LUT_STEPS)
+        .map(|i| curve.slowdown(i as f64 / LUT_STEPS as f64))
+        .collect()
 }
 
 impl AnalyticBus {
     /// Builds the model with the processor-sharing default curve.
     pub fn new(cfg: &DramConfig) -> Self {
-        AnalyticBus {
-            line_bytes: cfg.line_bytes,
-            burst_ns: cfg.burst_time().as_ns() as f64,
-            curve: CalibrationCurve::processor_sharing(),
-        }
+        Self::with_curve(cfg, CalibrationCurve::processor_sharing())
     }
 
     /// Builds the model with a curve measured by [`calibrate`].
@@ -134,6 +143,7 @@ impl AnalyticBus {
         AnalyticBus {
             line_bytes: cfg.line_bytes,
             burst_ns: cfg.burst_time().as_ns() as f64,
+            lut: build_lut(&curve),
             curve,
         }
     }
@@ -143,9 +153,17 @@ impl AnalyticBus {
         &self.curve
     }
 
-    /// Slowdown factor at `utilization` (≥ 1).
+    /// Slowdown factor at `utilization` (≥ 1), from the lookup table.
+    ///
+    /// Exact at every `i / LUT_STEPS` grid point — in particular
+    /// `slowdown(0.0)` is the curve's own value, so an idle bus stays
+    /// idle — and linearly interpolated between grid points.
     pub fn slowdown(&self, utilization: f64) -> f64 {
-        self.curve.slowdown(utilization)
+        let x = utilization.clamp(0.0, 1.0) * LUT_STEPS as f64;
+        let i = (x as usize).min(LUT_STEPS - 1);
+        let f = x - i as f64;
+        let s0 = self.lut[i];
+        s0 + f * (self.lut[i + 1] - s0)
     }
 }
 
@@ -153,7 +171,7 @@ impl BusModel for AnalyticBus {
     fn transfer_time(&self, bytes: u64, utilization: f64) -> SimDuration {
         let bursts = bytes.div_ceil(self.line_bytes) as f64;
         let ideal_ns = bursts * self.burst_ns;
-        SimDuration::from_ns_f64(ideal_ns * self.curve.slowdown(utilization))
+        SimDuration::from_ns_f64(ideal_ns * self.slowdown(utilization))
     }
 
     fn ideal_time(&self, bytes: u64) -> SimDuration {
@@ -202,7 +220,7 @@ fn measure_slowdown(cfg: &DramConfig, utilization: f64, seed: u64) -> f64 {
             let out = sys.nvdimm_transfer(0, transfer_bytes, next_transfer);
             realized += (out.done - next_transfer).as_ns() as f64;
             ideal += out.ideal.as_ns() as f64;
-            next_transfer = next_transfer + transfer_gap;
+            next_transfer += transfer_gap;
         }
         return (realized / ideal).max(1.0);
     }
@@ -227,7 +245,7 @@ fn measure_slowdown(cfg: &DramConfig, utilization: f64, seed: u64) -> f64 {
             let out = sys.nvdimm_transfer(0, transfer_bytes, next_transfer);
             realized += (out.done - next_transfer).as_ns() as f64;
             ideal += out.ideal.as_ns() as f64;
-            next_transfer = next_transfer + transfer_gap;
+            next_transfer += transfer_gap;
         }
     }
     (realized / ideal).max(1.0)
@@ -274,6 +292,25 @@ mod tests {
     }
 
     #[test]
+    fn lut_slowdown_tracks_exact_curve() {
+        let bus = AnalyticBus::new(&DramConfig::ddr3_1600());
+        // Exact at zero (idle bus must stay idle)…
+        assert_eq!(bus.slowdown(0.0), bus.curve().slowdown(0.0));
+        // …and within LUT resolution everywhere else.
+        for i in 0..=200 {
+            let u = i as f64 / 200.0;
+            let exact = bus.curve().slowdown(u);
+            let lut = bus.slowdown(u);
+            // Chords across the convex curve's breakpoints overshoot by up
+            // to ~1e-3 relative at LUT resolution.
+            assert!(
+                (lut - exact).abs() <= exact * 5e-3,
+                "u={u}: lut {lut} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
     fn calibration_curve_is_increasing() {
         let cfg = DramConfig::ddr3_1600();
         let curve = calibrate(&cfg, &[0.0, 0.3, 0.6, 0.8], 42);
@@ -282,7 +319,10 @@ mod tests {
             slowdowns.windows(2).all(|w| w[0] <= w[1] + 1e-9),
             "slowdowns {slowdowns:?}"
         );
-        assert!(slowdowns[3] > 1.5, "high utilization barely slows: {slowdowns:?}");
+        assert!(
+            slowdowns[3] > 1.5,
+            "high utilization barely slows: {slowdowns:?}"
+        );
     }
 
     #[test]
@@ -295,6 +335,9 @@ mod tests {
         let closed_form = CalibrationCurve::processor_sharing().slowdown(0.5);
         // Within 2x of each other.
         let ratio = measured / closed_form;
-        assert!((0.4..=2.5).contains(&ratio), "measured {measured}, closed {closed_form}");
+        assert!(
+            (0.4..=2.5).contains(&ratio),
+            "measured {measured}, closed {closed_form}"
+        );
     }
 }

@@ -85,9 +85,7 @@ impl DramConfig {
 
     /// Time the data bus is occupied by one `line_bytes` burst.
     pub fn burst_time(&self) -> SimDuration {
-        SimDuration::from_ns_f64(
-            self.line_bytes as f64 * 1e9 / self.bandwidth_bytes_per_sec as f64,
-        )
+        SimDuration::from_ns_f64(self.line_bytes as f64 * 1e9 / self.bandwidth_bytes_per_sec as f64)
     }
 
     /// Interval between two refresh commands (tREFI): the refresh period

@@ -149,8 +149,7 @@ impl MemController {
             while let Some(i) = self.pick(channel, until) {
                 let t = self.queues[channel].remove(i).expect("index valid");
                 let loc = self.mapper.decode(t.req.addr);
-                let grant =
-                    self.channels[channel].access(loc.rank, loc.bank, loc.row, t.arrival);
+                let grant = self.channels[channel].access(loc.rank, loc.bank, loc.row, t.arrival);
                 let bi = self.bank_index(loc.channel, loc.rank, loc.bank);
                 self.open_rows[bi] = Some(loc.row);
                 self.latency
@@ -201,7 +200,7 @@ mod tests {
         let mut t = SimTime::ZERO;
         (0..n)
             .map(|i| {
-                t = t + SimDuration::from_ns(50);
+                t += SimDuration::from_ns(50);
                 let addr = if locality {
                     // Streams within rows: consecutive lines with occasional
                     // jumps.
@@ -257,7 +256,7 @@ mod tests {
         let row_stride = lines_per_row * 64; // next row, same bank (single channel)
         let bank_stride = row_stride * cfg.banks as u64 * cfg.ranks as u64;
         for i in 0..64u64 {
-            t = t + SimDuration::from_ns(10);
+            t += SimDuration::from_ns(10);
             // Alternate rows 0 and N on bank 0.
             let addr = (i % 2) * bank_stride + (i / 2) * 64;
             reqs.push((MemRequest::new(addr, MemOp::Read), t));

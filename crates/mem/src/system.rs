@@ -107,8 +107,7 @@ impl DramSystem {
     pub fn access(&mut self, req: MemRequest, now: SimTime) -> SimTime {
         let loc = self.mapper.decode(req.addr);
         let grant = self.channels[loc.channel].access(loc.rank, loc.bank, loc.row, now);
-        self.dram_latency
-            .add((grant.done - now).as_ns() as f64);
+        self.dram_latency.add((grant.done - now).as_ns() as f64);
         grant.done
     }
 
@@ -230,7 +229,7 @@ mod tests {
         let mut sys = DramSystem::new(DramConfig::ddr3_1600());
         let mut t = SimTime::ZERO;
         for i in 0..1024u64 {
-            t = t + SimDuration::from_ns(100);
+            t += SimDuration::from_ns(100);
             sys.access(MemRequest::new(i * 64, MemOp::Read), t);
         }
         assert!(sys.row_hit_rate() > 0.8, "hit rate {}", sys.row_hit_rate());

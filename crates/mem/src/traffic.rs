@@ -90,7 +90,7 @@ impl PoissonTraffic {
     /// Draws the next request and its arrival time (strictly increasing).
     pub fn next_request(&mut self) -> (SimTime, MemRequest) {
         let gap_ns = self.rng.exponential(1e9 / self.rate).max(1.0);
-        self.clock = self.clock + SimDuration::from_ns_f64(gap_ns);
+        self.clock += SimDuration::from_ns_f64(gap_ns);
         if self.rng.chance(self.sequential_prob) {
             self.cursor_addr = (self.cursor_addr + 1) % self.footprint_lines;
         } else {

@@ -79,7 +79,7 @@ impl AggregationModel {
 mod tests {
     use super::*;
     use crate::metrics::rmse;
-    use crate::{PerfModel, Dataset};
+    use crate::{Dataset, PerfModel};
     use nvhsm_sim::SimRng;
 
     fn multi_factor_samples(n: usize, seed: u64) -> Vec<Sample> {
@@ -100,7 +100,11 @@ mod tests {
                     latency_us: 20.0
                         + 6.0 * f.oios
                         + 250.0 * f.rd_rand
-                        + if f.free_space_ratio < 0.15 { 200.0 } else { 0.0 },
+                        + if f.free_space_ratio < 0.15 {
+                            200.0
+                        } else {
+                            0.0
+                        },
                 }
             })
             .collect()
@@ -148,8 +152,14 @@ mod tests {
         let test = multi_factor_samples(200, 43);
         let agg = AggregationModel::fit(&train);
         let tree = PerfModel::train(&train.iter().cloned().collect::<Dataset>());
-        let agg_err = rmse(test.iter().map(|s| (agg.predict(&s.features), s.latency_us)));
-        let tree_err = rmse(test.iter().map(|s| (tree.predict(&s.features), s.latency_us)));
+        let agg_err = rmse(
+            test.iter()
+                .map(|s| (agg.predict(&s.features), s.latency_us)),
+        );
+        let tree_err = rmse(
+            test.iter()
+                .map(|s| (tree.predict(&s.features), s.latency_us)),
+        );
         assert!(
             tree_err < agg_err / 2.0,
             "tree rmse {tree_err} not clearly below aggregation rmse {agg_err}"

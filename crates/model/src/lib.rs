@@ -154,6 +154,9 @@ mod tests {
         };
         let pred = model.predict(&probe);
         let truth = 5.0 + 30.0 * 0.45 + 4.0 * 4.5;
-        assert!((pred - truth).abs() / truth < 0.15, "pred {pred} truth {truth}");
+        assert!(
+            (pred - truth).abs() / truth < 0.15,
+            "pred {pred} truth {truth}"
+        );
     }
 }

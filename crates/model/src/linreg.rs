@@ -68,8 +68,7 @@ impl LinearRegression {
     pub fn predict(&self, features: &Features) -> f64 {
         let x = features.to_array();
         self.coef[0]
-            + self
-                .coef[1..]
+            + self.coef[1..]
                 .iter()
                 .zip(x.iter())
                 .map(|(c, v)| c * v)
@@ -84,6 +83,9 @@ impl LinearRegression {
 
 /// Gaussian elimination with partial pivoting for the (small, SPD-ish)
 /// normal-equation system.
+// The elimination inner loop reads row `col` while writing row `row`;
+// index form is the clearest way to express that dual-row access.
+#[allow(clippy::needless_range_loop)]
 fn solve(mut a: [[f64; DIM]; DIM], mut b: [f64; DIM]) -> [f64; DIM] {
     for col in 0..DIM {
         // Pivot.
@@ -143,7 +145,10 @@ mod tests {
                 };
                 Sample {
                     features: f,
-                    latency_us: 10.0 + 5.0 * f.wr_ratio + 2.0 * f.oios + 1.5 * f.ios
+                    latency_us: 10.0
+                        + 5.0 * f.wr_ratio
+                        + 2.0 * f.oios
+                        + 1.5 * f.ios
                         + 8.0 * f.wr_rand
                         + 12.0 * f.rd_rand
                         - 20.0 * f.free_space_ratio,

@@ -104,10 +104,7 @@ fn sse(samples: &[&Sample]) -> f64 {
         return 0.0;
     }
     let mean = samples.iter().map(|s| s.latency_us).sum::<f64>() / samples.len() as f64;
-    samples
-        .iter()
-        .map(|s| (s.latency_us - mean).powi(2))
-        .sum()
+    samples.iter().map(|s| (s.latency_us - mean).powi(2)).sum()
 }
 
 struct BestSplit {
@@ -341,7 +338,11 @@ mod tests {
         // Fig. 6 (a): splitting on free_space_ratio yields the lowest RMSD
         // and becomes the root.
         let tree = RegressionTree::fit(&table3(), &RegTreeConfig::constant_leaves());
-        assert_eq!(tree.root_split_feature(), Some(5), "root should split on free_space_ratio");
+        assert_eq!(
+            tree.root_split_feature(),
+            Some(5),
+            "root should split on free_space_ratio"
+        );
         // Fig. 6 (b) illustrates IOS as the next split; under exact RMSD
         // minimization wr_ratio ties IOS on one child and beats it on the
         // other, so either is a legitimate second level. What matters is
@@ -397,7 +398,9 @@ mod tests {
             };
             let tree = RegressionTree::fit(&samples, &cfg);
             let err = rmse(
-                samples.iter().map(|s| (tree.predict(&s.features), s.latency_us)),
+                samples
+                    .iter()
+                    .map(|s| (tree.predict(&s.features), s.latency_us)),
             );
             assert!(
                 err <= last + 1e-9,
@@ -434,9 +437,20 @@ mod tests {
             },
         );
         let linear = RegressionTree::fit(&samples, &shallow);
-        let e_const = rmse(samples.iter().map(|s| (constant.predict(&s.features), s.latency_us)));
-        let e_lin = rmse(samples.iter().map(|s| (linear.predict(&s.features), s.latency_us)));
-        assert!(e_lin < e_const / 2.0, "linear {e_lin} vs constant {e_const}");
+        let e_const = rmse(
+            samples
+                .iter()
+                .map(|s| (constant.predict(&s.features), s.latency_us)),
+        );
+        let e_lin = rmse(
+            samples
+                .iter()
+                .map(|s| (linear.predict(&s.features), s.latency_us)),
+        );
+        assert!(
+            e_lin < e_const / 2.0,
+            "linear {e_lin} vs constant {e_const}"
+        );
     }
 
     #[test]

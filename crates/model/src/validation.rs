@@ -56,7 +56,8 @@ pub fn cross_validate(data: &Dataset, k: usize, cfg: &RegTreeConfig) -> CrossVal
             .collect();
         let model = PerfModel::train_with(&train, cfg);
         fold_rmse.push(rmse(
-            test.iter().map(|s| (model.predict(&s.features), s.latency_us)),
+            test.iter()
+                .map(|s| (model.predict(&s.features), s.latency_us)),
         ));
     }
     CrossValidation { fold_rmse }

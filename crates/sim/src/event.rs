@@ -103,12 +103,22 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event only if it is due at or before
     /// `now`.
+    ///
+    /// Single root access: the due check and the removal share one
+    /// `peek_mut`, instead of a peek followed by an independent pop.
     pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
-        if self.next_time().is_some_and(|t| t <= now) {
-            self.pop()
+        let entry = self.heap.peek_mut()?;
+        if entry.time <= now {
+            let e = std::collections::binary_heap::PeekMut::pop(entry);
+            Some((e.time, e.event))
         } else {
             None
         }
+    }
+
+    /// Reserves capacity for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 
     /// Number of pending events.
@@ -182,7 +192,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(SimTime::from_ns(10), 'x');
         assert!(q.pop_due(SimTime::from_ns(9)).is_none());
-        assert_eq!(q.pop_due(SimTime::from_ns(10)), Some((SimTime::from_ns(10), 'x')));
+        assert_eq!(
+            q.pop_due(SimTime::from_ns(10)),
+            Some((SimTime::from_ns(10), 'x'))
+        );
         assert!(q.pop_due(SimTime::MAX).is_none());
     }
 
@@ -201,12 +214,9 @@ mod tests {
 
     #[test]
     fn collects_from_iterator() {
-        let q: EventQueue<u32> = vec![
-            (SimTime::from_ns(2), 2),
-            (SimTime::from_ns(1), 1),
-        ]
-        .into_iter()
-        .collect();
+        let q: EventQueue<u32> = vec![(SimTime::from_ns(2), 2), (SimTime::from_ns(1), 1)]
+            .into_iter()
+            .collect();
         assert_eq!(q.len(), 2);
         assert_eq!(q.next_time(), Some(SimTime::from_ns(1)));
     }

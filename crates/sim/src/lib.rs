@@ -14,6 +14,10 @@
 //!   (exponential inter-arrivals, Zipfian skew, Bernoulli mixes).
 //! * [`stats`] — streaming statistics (Welford mean/variance, log-scale
 //!   latency histograms with percentile queries, windowed time series).
+//! * [`parallel`] — deterministic scenario-parallel execution: fans
+//!   independent scenario closures across cores and returns results in
+//!   stable input order, so merged outputs are byte-identical to serial
+//!   runs (worker count via `--jobs`/`NVHSM_JOBS`).
 //!
 //! # Examples
 //!
@@ -29,6 +33,7 @@
 //! ```
 
 pub mod event;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod time;

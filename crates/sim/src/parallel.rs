@@ -1,0 +1,178 @@
+//! Deterministic scenario-parallel execution.
+//!
+//! Every paper artifact in this workspace is a grid of *independent*
+//! simulations — policy × workload mix × seed. [`run_grid`] fans such a
+//! grid out across OS threads (`std::thread::scope`, no external
+//! dependencies) and returns the results **in input order**, so any
+//! table merged from them is byte-identical to a serial run. The only
+//! thing parallelism may change is wall-clock time.
+//!
+//! Worker count resolution, highest priority first:
+//!
+//! 1. a programmatic override ([`set_jobs`], used by `--jobs N`),
+//! 2. the `NVHSM_JOBS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Scenario closures must be `Send` (each runs entirely on one worker
+//! thread) but results are collected through per-slot storage, never a
+//! shared accumulator, so no ordering coordination between workers is
+//! needed and none can leak into the output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One grid point's state: the pending closure, then its result.
+struct Cell<T, F> {
+    task: Option<F>,
+    result: Option<T>,
+}
+
+/// Programmatic worker-count override; 0 means "not set".
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count for subsequent [`run_grid`] calls.
+///
+/// `Some(0)` and `Some(1)` both select serial execution; `None` clears
+/// the override so `NVHSM_JOBS` / available parallelism apply again.
+pub fn set_jobs(jobs: Option<usize>) {
+    JOBS_OVERRIDE.store(jobs.map_or(0, |n| n.max(1)), Ordering::Relaxed);
+}
+
+/// The worker count [`run_grid`] will use for a grid of `tasks` tasks.
+pub fn effective_jobs(tasks: usize) -> usize {
+    let configured = match JOBS_OVERRIDE.load(Ordering::Relaxed) {
+        0 => std::env::var("NVHSM_JOBS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+        n => n,
+    };
+    configured.min(tasks).max(1)
+}
+
+/// Runs every scenario in `scenarios` and returns their outputs in the
+/// same order, regardless of worker count or scheduling.
+///
+/// Workers claim scenario indices from a shared atomic counter (natural
+/// load balancing for grids whose points have very different costs) and
+/// write each result into its own slot. A panicking scenario propagates
+/// the panic to the caller after the scope joins.
+pub fn run_grid<T, F>(scenarios: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let jobs = effective_jobs(scenarios.len());
+    if jobs <= 1 {
+        return scenarios.into_iter().map(|f| f()).collect();
+    }
+
+    // Per-index cells: workers take the closure and fill the result slot
+    // for exactly the indices they claim, so neither `F: Sync` nor
+    // `T: Sync` is required and output order is fixed by construction.
+    let cells: Vec<Mutex<Cell<T, F>>> = scenarios
+        .into_iter()
+        .map(|f| {
+            Mutex::new(Cell {
+                task: Some(f),
+                result: None,
+            })
+        })
+        .collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let f = cell
+                    .lock()
+                    .unwrap()
+                    .task
+                    .take()
+                    .expect("task claimed twice");
+                let out = f();
+                cell.lock().unwrap().result = Some(out);
+            });
+        }
+    });
+
+    cells
+        .into_iter()
+        .map(|cell| {
+            cell.into_inner()
+                .unwrap()
+                .result
+                .expect("scenario result missing (worker panicked?)")
+        })
+        .collect()
+}
+
+/// Maps `items` through `f` in parallel, preserving input order.
+///
+/// Convenience wrapper over [`run_grid`] for the common "same function,
+/// many inputs" grids.
+pub fn map_grid<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Send + Sync,
+{
+    let f = &f;
+    run_grid(items.into_iter().map(|item| move || f(item)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        // Uneven per-task cost: late tasks finish first under any
+        // parallel schedule, but output order must still match input.
+        let out = map_grid((0..64u64).collect(), |i| {
+            let spin = (64 - i) * 1_000;
+            let mut acc = i;
+            for k in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            (i, acc)
+        });
+        for (expect, (i, _)) in out.iter().enumerate() {
+            assert_eq!(*i, expect as u64);
+        }
+    }
+
+    // The override is process-global, so every assertion that depends on
+    // it lives in this one test to avoid cross-test races.
+    #[test]
+    fn jobs_override_and_serial_parallel_agreement() {
+        let work = |i: u64| -> u64 {
+            let mut acc = i;
+            for _ in 0..100 {
+                acc = acc.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(7);
+            }
+            acc
+        };
+        set_jobs(Some(1));
+        let serial = map_grid((0..100).collect(), work);
+        set_jobs(Some(8));
+        let parallel = map_grid((0..100).collect(), work);
+        assert_eq!(serial, parallel);
+
+        set_jobs(Some(32));
+        assert_eq!(effective_jobs(4), 4);
+        assert_eq!(effective_jobs(0), 1);
+        set_jobs(Some(0));
+        assert_eq!(effective_jobs(16), 1);
+        set_jobs(None);
+    }
+
+    #[test]
+    fn empty_grid() {
+        let out: Vec<u32> = run_grid(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+}

@@ -141,7 +141,7 @@ impl IoGenerator {
     pub fn next_request(&mut self) -> (SimTime, GenRequest) {
         let rate = (self.profile.iops * self.phase_factor()).max(1.0);
         let gap_ns = self.rng.exponential(1e9 / rate).max(1.0);
-        self.clock = self.clock + SimDuration::from_ns_f64(gap_ns);
+        self.clock += SimDuration::from_ns_f64(gap_ns);
 
         let is_write = self.rng.chance(self.profile.wr_ratio);
         let size = self.draw_size();
@@ -202,10 +202,7 @@ mod tests {
             ..WorkloadProfile::default()
         };
         let reqs = collect(p, 40_000);
-        let writes = reqs
-            .iter()
-            .filter(|(_, r)| r.op == GenOp::Write)
-            .count();
+        let writes = reqs.iter().filter(|(_, r)| r.op == GenOp::Write).count();
         let frac = writes as f64 / reqs.len() as f64;
         assert!((frac - 0.25).abs() < 0.02, "write frac {frac}");
     }
@@ -231,8 +228,7 @@ mod tests {
             ..WorkloadProfile::default()
         };
         let reqs = collect(p, 40_000);
-        let mean =
-            reqs.iter().map(|(_, r)| r.size_blocks as f64).sum::<f64>() / reqs.len() as f64;
+        let mean = reqs.iter().map(|(_, r)| r.size_blocks as f64).sum::<f64>() / reqs.len() as f64;
         assert!((mean - 3.0).abs() < 0.15, "mean size {mean}");
     }
 

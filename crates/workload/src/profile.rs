@@ -133,21 +133,29 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        let mut p = WorkloadProfile::default();
-        p.wr_ratio = 1.5;
+        let p = WorkloadProfile {
+            wr_ratio: 1.5,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = WorkloadProfile::default();
-        p.iops = 0.0;
+        let p = WorkloadProfile {
+            iops: 0.0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = WorkloadProfile::default();
-        p.working_set_blocks = 0;
+        let p = WorkloadProfile {
+            working_set_blocks: 0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = WorkloadProfile::default();
-        p.mean_size_blocks = 100.0;
-        p.max_size_blocks = 8;
+        let p = WorkloadProfile {
+            mean_size_blocks: 100.0,
+            max_size_blocks: 8,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
     }
 

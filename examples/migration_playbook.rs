@@ -23,21 +23,24 @@ fn serve_with_tuning(tuning: MigrationTuning) -> (f64, f64) {
     // Warm the cache.
     for _ in 0..4 * hot {
         dev.submit(&IoRequest::normal(0, rng.below(hot), 1, IoOp::Read, t));
-        t = t + SimDuration::from_us(40);
+        t += SimDuration::from_us(40);
     }
     dev.cache().hits(); // warm counters exist; reset via stats epoch
     let mut sum = 0.0;
     let n = 4_000;
-    let mut sweep = 200_000u64;
-    for i in 0..n {
+    for sweep in 200_000u64..200_000 + n {
         let c = dev.submit(&IoRequest::normal(0, rng.below(hot), 1, IoOp::Read, t));
         sum += c.latency.as_us_f64();
         // Interleaved migration: read out + write in.
         dev.submit(&IoRequest::migrated(8, sweep % span, 1, IoOp::Read, t));
-        dev.submit(&IoRequest::migrated(9, (sweep + span / 2) % span, 1, IoOp::Write, t));
-        sweep += 1;
-        let _ = i;
-        t = t + SimDuration::from_us(100);
+        dev.submit(&IoRequest::migrated(
+            9,
+            (sweep + span / 2) % span,
+            1,
+            IoOp::Write,
+            t,
+        ));
+        t += SimDuration::from_us(100);
     }
     (sum / n as f64, dev.cache().hit_ratio())
 }
@@ -81,7 +84,7 @@ fn main() {
             let migrated = rng.chance(0.4);
             if !migrated {
                 persistent_seen += 1;
-                if persistent_seen % 4 == 0 {
+                if persistent_seen.is_multiple_of(4) {
                     epoch += 1;
                 }
             }

@@ -40,9 +40,13 @@ fn main() {
         let end = t + epoch;
         while t < end {
             let block = rng.below(40_000);
-            let op = if rng.chance(0.3) { IoOp::Write } else { IoOp::Read };
+            let op = if rng.chance(0.3) {
+                IoOp::Write
+            } else {
+                IoOp::Read
+            };
             dev.submit(&IoRequest::normal(0, block, 1, op, t));
-            t = t + SimDuration::from_us(400);
+            t += SimDuration::from_us(400);
         }
         let stats = dev.stats_mut().take_epoch(t);
         if stats.io_count() == 0 {

@@ -22,12 +22,16 @@ fn completions_never_precede_arrivals() {
         let mut rng = SimRng::new(1);
         let mut t = SimTime::ZERO;
         for _ in 0..300 {
-            let op = if rng.chance(0.4) { IoOp::Write } else { IoOp::Read };
+            let op = if rng.chance(0.4) {
+                IoOp::Write
+            } else {
+                IoOp::Read
+            };
             let req = IoRequest::normal(0, rng.below(10_000), 1, op, t);
             let c = dev.submit(&req);
             assert!(c.done >= t, "{}", dev.kind());
             assert_eq!(c.latency, c.done - t);
-            t = t + SimDuration::from_us(100);
+            t += SimDuration::from_us(100);
         }
         assert!(dev.drained_at() >= t - SimDuration::from_us(100));
     }

@@ -91,11 +91,11 @@ fn lazy_migration_mirrors_writes() {
 
 #[test]
 fn migration_modes_match_policies() {
-    use nvdimm_hsm::core::Manager;
     use nvdimm_hsm::core::pretrain_models;
+    use nvdimm_hsm::core::Manager;
     let models = pretrain_models(30, 3);
     let m = Manager::new(PolicyKind::LightSrm, 0.5, models);
-    assert_eq!(m.policy().mirroring(), true);
-    assert_eq!(m.policy().lazy_copy(), false);
+    assert!(m.policy().mirroring());
+    assert!(!m.policy().lazy_copy());
     let _ = MigrationMode::Mirror;
 }

@@ -43,7 +43,7 @@ fn drive_epoch(
             IoOp::Read
         };
         dev.submit(&IoRequest::normal(0, block, 1, op, t));
-        t = t + SimDuration::from_us(300);
+        t += SimDuration::from_us(300);
     }
     let stats = dev.stats_mut().take_epoch(end);
     let f = epoch_features(&stats, dev.free_space_ratio(), baseline_us);
@@ -63,13 +63,17 @@ fn model_tracks_contention_free_behaviour() {
     let mut n = 0.0;
     for _ in 0..10 {
         let (f, measured) = drive_epoch(&mut dev, &mut rng, t, 0.0, baseline);
-        t = t + SimDuration::from_ms(200);
+        t += SimDuration::from_ms(200);
         let predicted = model.predict(&f);
         total_err += ((predicted - measured) / measured).abs();
         n += 1.0;
     }
     let mape = total_err / n;
-    assert!(mape < 0.35, "contention-free model error {:.0}%", mape * 100.0);
+    assert!(
+        mape < 0.35,
+        "contention-free model error {:.0}%",
+        mape * 100.0
+    );
 }
 
 #[test]
@@ -88,7 +92,7 @@ fn contention_estimate_rises_with_bus_utilization() {
         let mut acc = 0.0;
         for _ in 0..4 {
             let (f, measured) = drive_epoch(&mut dev, &mut rng, t, util, baseline);
-            t = t + SimDuration::from_ms(200);
+            t += SimDuration::from_ms(200);
             acc += estimator.observe(model, &f, measured);
         }
         bc_by_util.push(acc / 4.0);
@@ -110,7 +114,10 @@ fn tier_characteristics_ordered() {
     let nv = models.baseline_us(DeviceKind::Nvdimm);
     let ssd = models.baseline_us(DeviceKind::Ssd);
     let hdd = models.baseline_us(DeviceKind::Hdd);
-    assert!(nv < ssd && ssd < hdd, "tiers out of order: {nv} {ssd} {hdd}");
+    assert!(
+        nv < ssd && ssd < hdd,
+        "tiers out of order: {nv} {ssd} {hdd}"
+    );
     // Streaming unit costs: SSD readahead hides NAND reads behind the
     // controller path; the HDD streams at the media rate.
     assert!(models.seq_block_us(DeviceKind::Hdd) < 1_000.0);

@@ -62,7 +62,7 @@ proptest! {
             if sim.active_migrations() == 0 {
                 prop_assert_eq!(hosts, 1, "vmdk {:?} resident on {} datastores", v, hosts);
             } else {
-                prop_assert!(hosts >= 1 && hosts <= 2);
+                prop_assert!((1..=2).contains(&hosts));
             }
         }
 

@@ -1,0 +1,206 @@
+//! Offline subset of the `criterion` benchmarking API used by this
+//! workspace. It measures with a warm-up estimate followed by a fixed
+//! number of timed samples and reports the median ns/iteration — no
+//! statistical analysis, plots, or baselines, but the same source-level
+//! API (`Criterion`, `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`,
+//! `black_box`, `criterion_group!`, `criterion_main!`).
+//!
+//! Set `CRITERION_JSON_OUT=<path>` to also write all results from the
+//! process as a JSON document (`scripts/bench_snapshot.sh` consumes
+//! this to produce `BENCH_*.json` perf snapshots).
+
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+
+fn results() -> &'static Mutex<Vec<(String, f64)>> {
+    static RESULTS: OnceLock<Mutex<Vec<(String, f64)>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Times a single routine, as passed to `bench_function` closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for the harness-chosen number of iterations,
+    /// recording total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifies one parameterized benchmark, e.g. `group/function/param`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` forwards everything after `--`;
+        // ignore flag-like arguments such as `--bench`.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter, samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Upstream compatibility hook; argument handling happens in
+    /// `default()`.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let samples = self.samples;
+        if self.matches(id) {
+            run_benchmark(id, samples, f);
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), samples: None }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.max(2));
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.samples.unwrap_or(self.criterion.samples);
+        if self.criterion.matches(&full) {
+            run_benchmark(&full, samples, f);
+        }
+        self
+    }
+
+    /// Benchmarks `f` with an input value under `group/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let samples = self.samples.unwrap_or(self.criterion.samples);
+        if self.criterion.matches(&full) {
+            run_benchmark(&full, samples, |b| f(b, input));
+        }
+        self
+    }
+
+    /// Ends the group (upstream compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    // Warm-up pass with one iteration to estimate per-iter cost.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+
+    let mut per_iter_ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+
+    println!("{id:<56} {:>14.1} ns/iter ({iters} iters x {samples} samples)", median);
+    results().lock().unwrap().push((id.to_string(), median));
+}
+
+/// Writes the JSON results document when `CRITERION_JSON_OUT` is set.
+/// Called by `criterion_main!` after all groups run.
+pub fn finalize() {
+    let Ok(path) = std::env::var("CRITERION_JSON_OUT") else {
+        return;
+    };
+    let results = results().lock().unwrap();
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (id, ns)) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {}}}{}\n",
+            id.replace('"', "\\\""),
+            ns,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion: failed to write {path}: {e}");
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::finalize();
+        }
+    };
+}

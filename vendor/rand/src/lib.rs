@@ -1,0 +1,47 @@
+//! Offline subset of the `rand` API used by this workspace: the
+//! [`RngCore`] trait and its [`Error`] type. `nvhsm-sim::SimRng`
+//! implements `RngCore` so downstream code can treat it as a standard
+//! random source; nothing in-tree uses rand's generators or
+//! distributions.
+
+/// Random-source error, mirroring `rand::Error`.
+#[derive(Debug)]
+pub struct Error(&'static str);
+
+impl Error {
+    /// Builds an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Error(msg)
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fills `dest` with random bytes, reporting failure.
+    ///
+    /// # Errors
+    ///
+    /// Implementations backed by fallible entropy sources may fail;
+    /// deterministic generators never do.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}

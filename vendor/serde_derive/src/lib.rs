@@ -1,0 +1,399 @@
+//! Offline subset of `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for the type shapes this workspace uses —
+//! named-field structs, tuple/newtype structs, unit structs, and enums
+//! with unit, tuple, or struct variants (externally tagged). No
+//! `#[serde(...)]` attributes and no generic parameters are supported;
+//! none of the workspace's derive sites need them.
+//!
+//! The macro hand-parses the item's `TokenStream` (no `syn`/`quote`,
+//! since the build environment has no registry access) and emits impls
+//! of the vendored `serde::Serialize` / `serde::Deserialize` traits.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+enum Fields {
+    Unit,
+    /// Tuple fields; the arity.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Skip `#[...]` attributes (the `#` then the bracket group).
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw != "struct" && kw != "enum" {
+                    continue; // visibility keywords etc.
+                }
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("serde_derive: expected type name, got {other:?}"),
+                };
+                // Find the body: a brace/paren group, or `;` for unit structs.
+                // Generic parameters are unsupported (and unused in-tree).
+                for tt2 in iter.by_ref() {
+                    match tt2 {
+                        TokenTree::Punct(p) if p.as_char() == '<' => {
+                            panic!("serde_derive: generic types are not supported (type `{name}`)")
+                        }
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                            let shape = if kw == "struct" {
+                                Shape::Struct(Fields::Named(parse_named_fields(&g)))
+                            } else {
+                                Shape::Enum(parse_variants(&g))
+                            };
+                            return Item { name, shape };
+                        }
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                            return Item {
+                                name,
+                                shape: Shape::Struct(Fields::Tuple(count_tuple_fields(&g))),
+                            };
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ';' => {
+                            return Item { name, shape: Shape::Struct(Fields::Unit) };
+                        }
+                        _ => {}
+                    }
+                }
+                panic!("serde_derive: no body found for `{name}`");
+            }
+            _ => {}
+        }
+    }
+    panic!("serde_derive: no struct or enum found in derive input");
+}
+
+/// Field names of a `{ ... }` body. Skips attributes and visibility;
+/// consumes each field's type up to the next top-level comma, tracking
+/// angle-bracket depth so generic argument commas don't split fields.
+fn parse_named_fields(g: &Group) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = g.stream().into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word == "pub" {
+                    // Skip a restriction like `pub(crate)`.
+                    if matches!(iter.peek(), Some(TokenTree::Group(_))) {
+                        iter.next();
+                    }
+                    continue;
+                }
+                fields.push(word);
+                // Consume `: Type` through the field-separating comma.
+                let mut angle = 0i64;
+                for tt2 in iter.by_ref() {
+                    if let TokenTree::Punct(p) = tt2 {
+                        match p.as_char() {
+                            '<' => angle += 1,
+                            '>' => angle -= 1,
+                            ',' if angle == 0 => break,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Arity of a `( ... )` tuple body: counts non-empty comma-separated
+/// segments at angle-depth zero.
+fn count_tuple_fields(g: &Group) -> usize {
+    let mut arity = 0usize;
+    let mut angle = 0i64;
+    let mut in_segment = false;
+    for tt in g.stream() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if in_segment {
+                        arity += 1;
+                    }
+                    in_segment = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        in_segment = true;
+    }
+    if in_segment {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = g.stream().into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                let fields = match iter.peek() {
+                    Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                        let f = Fields::Named(parse_named_fields(vg));
+                        iter.next();
+                        f
+                    }
+                    Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                        let f = Fields::Tuple(count_tuple_fields(vg));
+                        iter.next();
+                        f
+                    }
+                    _ => Fields::Unit,
+                };
+                // Consume through the variant separator (covers explicit
+                // discriminants like `= 3`).
+                while let Some(tt2) = iter.next() {
+                    if matches!(&tt2, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+                variants.push(Variant { name, fields });
+            }
+            _ => {}
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        // Newtype structs are transparent, matching serde_json.
+        Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        );
+                    }
+                    Fields::Tuple(1) => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Seq(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        );
+                    }
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(vec![{}]))]),",
+                            entries.join(", ")
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Unit) => format!("{{ let _ = __v; Ok({name}) }}"),
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("::serde::Deserialize::from_value(__v).map({name})")
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(__seq.get({i}).ok_or_else(|| ::serde::Error::custom(\"tuple struct `{name}` too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let __seq = __v.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected sequence for `{name}`\"))?; Ok({name}({})) }}",
+                items.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::__get_field(__map, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let __map = __v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for `{name}`\"))?; Ok({name} {{ {} }}) }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(unit_arms, "\"{vn}\" => Ok({name}::{vn}),");
+                    }
+                    Fields::Tuple(1) => {
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vn}\" => ::serde::Deserialize::from_value(__content).map({name}::{vn}),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(__seq.get({i}).ok_or_else(|| ::serde::Error::custom(\"variant `{vn}` too short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vn}\" => {{ let __seq = __content.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected sequence for variant `{vn}`\"))?; Ok({name}::{vn}({})) }},",
+                            items.join(", ")
+                        );
+                    }
+                    Fields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::__get_field(__map, \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vn}\" => {{ let __map = __content.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for variant `{vn}`\"))?; Ok({name}::{vn} {{ {} }}) }},",
+                            inits.join(", ")
+                        );
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` for `{name}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __content) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             __other => Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` for `{name}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(::serde::Error::custom(\"expected string or single-entry map for enum `{name}`\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
