@@ -35,6 +35,45 @@ pub struct ResidentInfo {
     pub live_blocks: u64,
 }
 
+/// Operational health of a datastore, as judged by the node from its fault
+/// history over the recent epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DeviceHealth {
+    /// Fully operational: participates in placement, imbalance and
+    /// migration targeting.
+    #[default]
+    Healthy,
+    /// Reachable but recently offline or flapping: excluded from Eq. 4
+    /// placement and Eq. 5 imbalance, and its residents are candidates for
+    /// evacuation while it can still be read.
+    Degraded,
+    /// Currently unreachable: excluded from everything; residents must wait
+    /// for recovery (nothing can be read off it).
+    Offline,
+}
+
+impl DeviceHealth {
+    /// Whether the store may receive placements and count toward imbalance.
+    pub fn available(self) -> bool {
+        self == DeviceHealth::Healthy
+    }
+
+    /// Whether the store can currently serve I/O at all.
+    pub fn reachable(self) -> bool {
+        self != DeviceHealth::Offline
+    }
+}
+
+impl std::fmt::Display for DeviceHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceHealth::Healthy => write!(f, "healthy"),
+            DeviceHealth::Degraded => write!(f, "degraded"),
+            DeviceHealth::Offline => write!(f, "offline"),
+        }
+    }
+}
+
 /// Per-datastore observation for one epoch.
 #[derive(Debug, Clone)]
 pub struct DeviceObservation {
@@ -50,11 +89,21 @@ pub struct DeviceObservation {
     pub free_capacity_blocks: u64,
     /// Residents and their per-epoch info.
     pub residents: Vec<ResidentInfo>,
+    /// Operational health (fault-aware nodes mark offline/flapping stores;
+    /// everything is `Healthy` in fault-free runs).
+    pub health: DeviceHealth,
 }
 
 impl DeviceObservation {
     fn loaded(&self) -> bool {
         self.epoch.io_count() >= 10
+    }
+
+    /// Loaded *and* healthy: the only stores whose latency should steer
+    /// Eq. 5 — a flapping device's measured latency reflects its faults,
+    /// not its load, and acting on it would chase ghosts.
+    fn counts_for_imbalance(&self) -> bool {
+        self.loaded() && self.health.available()
     }
 }
 
@@ -232,9 +281,12 @@ impl Manager {
         let perfs: Vec<f64> = observations
             .iter()
             .map(|o| {
-                if o.loaded() {
+                if o.counts_for_imbalance() {
                     self.device_perf_us(o)
                 } else {
+                    // Idle or degraded/offline stores contribute no Eq. 5
+                    // signal; degraded ones are handled by evacuation, not
+                    // load balancing.
                     0.0
                 }
             })
@@ -254,7 +306,7 @@ impl Manager {
         let loaded_perfs: Vec<f64> = observations
             .iter()
             .zip(&perfs)
-            .filter(|(o, _)| o.loaded())
+            .filter(|(o, _)| o.counts_for_imbalance())
             .map(|(_, &p)| p)
             .collect();
         let min_p = if loaded_perfs.len() >= 2 {
@@ -301,7 +353,11 @@ impl Manager {
             // to this for a single move).
             let dst = observations
                 .iter()
-                .filter(|o| o.ds != src_obs.ds && o.free_capacity_blocks >= w.size_blocks)
+                .filter(|o| {
+                    o.ds != src_obs.ds
+                        && o.health.available()
+                        && o.free_capacity_blocks >= w.size_blocks
+                })
                 .map(|o| (o, self.what_if_us(o, w, true)))
                 .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite what-if"));
             let Some((dst_obs, _)) = dst else {
@@ -393,7 +449,7 @@ impl Manager {
     ) -> Option<DatastoreId> {
         let mut best: Option<(DatastoreId, f64)> = None;
         for (i, obs) in observations.iter().enumerate() {
-            if obs.free_capacity_blocks < new_workload.size_blocks {
+            if !obs.health.available() || obs.free_capacity_blocks < new_workload.size_blocks {
                 continue;
             }
             let with_new = self.what_if_us(obs, new_workload, true);
@@ -403,14 +459,19 @@ impl Manager {
             for (j, other) in observations.iter().enumerate() {
                 let p = if j == i {
                     with_new
-                } else {
+                } else if other.health.available() {
                     self.device_perf_us(other)
+                } else {
+                    // A degraded store's measured latency reflects its
+                    // faults; it neither helps nor hurts a placement
+                    // elsewhere.
+                    0.0
                 };
                 total += p;
                 // Idle devices do not participate in the imbalance
                 // preview — an empty tier is an opportunity, not a hot
                 // spot.
-                if j == i || other.loaded() {
+                if j == i || other.counts_for_imbalance() {
                     norms.push(p);
                 }
             }
@@ -432,6 +493,51 @@ impl Manager {
             }
         }
         best.map(|(ds, _)| ds)
+    }
+
+    /// Re-plans residents of degraded (but still reachable) datastores:
+    /// returns a migration moving the most active resident of the first
+    /// degraded store to the healthy destination with the lowest what-if
+    /// latency. Offline stores are skipped — nothing can be read off them
+    /// until they recover.
+    ///
+    /// Evacuations always use [`MigrationMode::FullCopy`]: mirroring new
+    /// writes *onto* a store while fleeing it would be self-defeating, and
+    /// the lazy gate would happily keep cold blocks on a device that is
+    /// about to disappear.
+    pub fn evacuation_decision(
+        &self,
+        observations: &[DeviceObservation],
+    ) -> Option<MigrationDecision> {
+        for src_obs in observations
+            .iter()
+            .filter(|o| o.health == DeviceHealth::Degraded)
+        {
+            // Most active resident first: it has the most to lose from the
+            // next outage.
+            let mut residents: Vec<&ResidentInfo> = src_obs.residents.iter().collect();
+            residents.sort_by_key(|r| std::cmp::Reverse(r.io_count));
+            for w in residents {
+                let dst = observations
+                    .iter()
+                    .filter(|o| {
+                        o.ds != src_obs.ds
+                            && o.health.available()
+                            && o.free_capacity_blocks >= w.size_blocks
+                    })
+                    .map(|o| (o, self.what_if_us(o, w, true)))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite what-if"));
+                if let Some((dst_obs, _)) = dst {
+                    return Some(MigrationDecision {
+                        vmdk: w.vmdk,
+                        src: src_obs.ds,
+                        dst: dst_obs.ds,
+                        mode: MigrationMode::FullCopy,
+                    });
+                }
+            }
+        }
+        None
     }
 }
 
@@ -484,6 +590,7 @@ mod tests {
             free_space: 0.5,
             free_capacity_blocks: 1_000_000,
             residents,
+            health: DeviceHealth::Healthy,
         }
     }
 
@@ -631,5 +738,114 @@ mod tests {
     #[should_panic(expected = "tau must be in (0, 1]")]
     fn invalid_tau_rejected() {
         let _ = Manager::new(PolicyKind::Basil, 0.0, pretrain_models(30, 3));
+    }
+
+    #[test]
+    fn degraded_store_is_never_a_destination() {
+        let mut m = manager(PolicyKind::Basil);
+        let nv_baseline = m.models().baseline_us(DeviceKind::Nvdimm);
+        let mut degraded = obs(1, DeviceKind::Ssd, 0.0, 0, vec![]);
+        degraded.health = DeviceHealth::Degraded;
+        // Hot enough that even the HDD beats staying put, so only the
+        // degraded-health filter decides between SSD and HDD.
+        let o = vec![
+            obs(
+                0,
+                DeviceKind::Nvdimm,
+                nv_baseline * 500.0,
+                50,
+                vec![resident(0, nv_baseline * 500.0, 50)],
+            ),
+            degraded,
+            obs(2, DeviceKind::Hdd, 0.0, 0, vec![]),
+        ];
+        let d = m.epoch_decision(&o, false).expect("should still migrate");
+        assert_eq!(d.dst, DatastoreId(2), "must skip the degraded SSD");
+    }
+
+    #[test]
+    fn degraded_store_does_not_trigger_imbalance() {
+        let mut m = manager(PolicyKind::Basil);
+        // The only hot device is degraded: its fault-inflated latency must
+        // not read as load imbalance.
+        let mut hot = obs(
+            0,
+            DeviceKind::Ssd,
+            5_000.0,
+            500,
+            vec![resident(0, 5_000.0, 500)],
+        );
+        hot.health = DeviceHealth::Degraded;
+        let o = vec![
+            hot,
+            obs(
+                1,
+                DeviceKind::Ssd,
+                100.0,
+                100,
+                vec![resident(1, 100.0, 100)],
+            ),
+        ];
+        let _ = m.epoch_decision(&o, false);
+        let d = m.epoch_decision(&o, false);
+        assert!(d.is_none(), "{:?}", m.last_diagnostics());
+    }
+
+    #[test]
+    fn initial_placement_avoids_degraded_stores() {
+        let m = manager(PolicyKind::Bca);
+        let mut nv = obs(0, DeviceKind::Nvdimm, 0.0, 0, vec![]);
+        nv.health = DeviceHealth::Degraded;
+        let o = vec![nv, obs(1, DeviceKind::Ssd, 0.0, 0, vec![])];
+        let w = resident(9, 0.0, 0);
+        assert_eq!(m.initial_placement(&o, &w), Some(DatastoreId(1)));
+    }
+
+    #[test]
+    fn evacuation_moves_hottest_resident_to_healthy_store() {
+        let m = manager(PolicyKind::Bca);
+        let mut flapping = obs(
+            0,
+            DeviceKind::Ssd,
+            200.0,
+            300,
+            vec![resident(5, 200.0, 100), resident(6, 200.0, 200)],
+        );
+        flapping.health = DeviceHealth::Degraded;
+        let mut dead = obs(1, DeviceKind::Hdd, 0.0, 0, vec![resident(7, 0.0, 0)]);
+        dead.health = DeviceHealth::Offline;
+        let o = vec![flapping, dead, obs(2, DeviceKind::Nvdimm, 0.0, 0, vec![])];
+        let d = m.evacuation_decision(&o).expect("should evacuate");
+        assert_eq!(d.vmdk, VmdkId(6), "hottest resident first");
+        assert_eq!(d.src, DatastoreId(0));
+        assert_eq!(d.dst, DatastoreId(2));
+        assert_eq!(d.mode, MigrationMode::FullCopy);
+    }
+
+    #[test]
+    fn evacuation_waits_when_no_healthy_destination() {
+        let m = manager(PolicyKind::Bca);
+        let mut flapping = obs(
+            0,
+            DeviceKind::Ssd,
+            200.0,
+            300,
+            vec![resident(5, 200.0, 100)],
+        );
+        flapping.health = DeviceHealth::Degraded;
+        let mut other = obs(1, DeviceKind::Hdd, 0.0, 0, vec![]);
+        other.health = DeviceHealth::Degraded;
+        assert!(m.evacuation_decision(&[flapping, other]).is_none());
+    }
+
+    #[test]
+    fn health_predicates() {
+        assert!(DeviceHealth::Healthy.available());
+        assert!(DeviceHealth::Healthy.reachable());
+        assert!(!DeviceHealth::Degraded.available());
+        assert!(DeviceHealth::Degraded.reachable());
+        assert!(!DeviceHealth::Offline.available());
+        assert!(!DeviceHealth::Offline.reachable());
+        assert_eq!(DeviceHealth::Degraded.to_string(), "degraded");
     }
 }

@@ -90,6 +90,26 @@ impl Bitmap {
         }
     }
 
+    /// Clears the bit for `block`; returns whether it was previously set.
+    /// Used when a destination copy is invalidated (a write had to land at
+    /// the source while the destination was unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn clear(&mut self, block: u64) -> bool {
+        assert!(block < self.len, "block out of range");
+        let word = &mut self.words[(block / 64) as usize];
+        let mask = 1u64 << (block % 64);
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.set -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Number of set bits.
     pub fn count_set(&self) -> u64 {
         self.set
@@ -102,20 +122,56 @@ impl Bitmap {
 
     /// First clear bit at or after `from`, wrapping around; `None` if
     /// complete.
+    ///
+    /// Scans at word granularity: each 64-block span costs one
+    /// `trailing_ones` instead of 64 bit probes, which matters because the
+    /// background copier calls this once per copied block over bitmaps that
+    /// grow mostly-set toward the end of a migration.
     pub fn next_clear(&self, from: u64) -> Option<u64> {
         if self.complete() || self.len == 0 {
             return None;
         }
-        let mut i = from % self.len;
-        loop {
-            if !self.get(i) {
-                return Some(i);
+        let start = from % self.len;
+        let n_words = self.words.len();
+        let tail_bits = (self.len % 64) as u32;
+
+        // First clear bit in word `widx`, ignoring bits below `low` and any
+        // bits past `len` in the final word (both treated as set).
+        let scan_word = |widx: usize, low: u32| -> Option<u64> {
+            let mut w = self.words[widx];
+            if low > 0 {
+                w |= (1u64 << low) - 1;
             }
-            i = (i + 1) % self.len;
-            if i == from % self.len {
-                return None;
+            if widx == n_words - 1 && tail_bits != 0 {
+                w |= !0u64 << tail_bits;
             }
+            let t = w.trailing_ones();
+            (t < 64).then(|| widx as u64 * 64 + t as u64)
+        };
+
+        let start_word = (start / 64) as usize;
+        if let Some(b) = scan_word(start_word, (start % 64) as u32) {
+            return Some(b);
         }
+        // Walk the remaining words, wrapping; the final iteration revisits
+        // `start_word` unmasked, which is safe: its bits at or after `start`
+        // were just proven set, so only the pre-`start` bits can match.
+        (1..=n_words).find_map(|k| scan_word((start_word + k) % n_words, 0))
+    }
+
+    /// Iterates over the set bits in ascending order.
+    pub fn iter_set(&self) -> impl Iterator<Item = u64> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            let base = wi as u64 * 64;
+            let len = self.len;
+            std::iter::successors(
+                Some(word),
+                |w| if *w == 0 { None } else { Some(w & (w - 1)) },
+            )
+            .take_while(|w| *w != 0)
+            .map(move |w| base + w.trailing_zeros() as u64)
+            .filter(move |b| *b < len)
+        })
     }
 
     /// In-memory footprint of the bitmap payload in bytes.
@@ -176,6 +232,19 @@ pub struct ActiveMigration {
     pub copied_blocks: u64,
     /// Blocks that reached the destination via mirrored writes.
     pub mirrored_blocks: u64,
+    /// Blocks whose *only* up-to-date copy lives at the destination: a
+    /// mirrored write superseded the source copy. These are what must be
+    /// written back to the source on abort — everything else still has a
+    /// valid source copy.
+    pub dirty: Bitmap,
+    /// When the migration was suspended because an endpoint went offline;
+    /// `None` while running.
+    pub suspended_at: Option<SimTime>,
+    /// Destination copies invalidated by writes that had to land at the
+    /// source while the destination was unreachable.
+    pub invalidated_blocks: u64,
+    /// Times the migration resumed from its bitmap after a suspension.
+    pub resumes: u64,
 }
 
 impl ActiveMigration {
@@ -199,6 +268,10 @@ impl ActiveMigration {
             copy_enabled: mode != MigrationMode::Lazy,
             copied_blocks: 0,
             mirrored_blocks: 0,
+            dirty: Bitmap::new(size_blocks),
+            suspended_at: None,
+            invalidated_blocks: 0,
+            resumes: 0,
         }
     }
 
@@ -212,6 +285,9 @@ impl ActiveMigration {
         if self.bitmap.set(block) {
             self.mirrored_blocks += 1;
         }
+        // Even if the block was already at the destination (copied earlier),
+        // the write makes the destination copy newer than the source's.
+        self.dirty.set(block);
     }
 
     /// Picks the next block for the background copier, advancing the
@@ -232,6 +308,51 @@ impl ActiveMigration {
     /// Blocks still at the source.
     pub fn remaining_blocks(&self) -> u64 {
         self.bitmap.len() - self.bitmap.count_set()
+    }
+
+    /// Whether the migration is currently suspended.
+    pub fn suspended(&self) -> bool {
+        self.suspended_at.is_some()
+    }
+
+    /// Suspends the migration (an endpoint went offline). Mirroring and
+    /// background copying stop; the bitmap is kept for a possible resume.
+    /// No-op if already suspended (the first outage's timestamp governs the
+    /// abort deadline).
+    pub fn suspend(&mut self, at: SimTime) {
+        if self.suspended_at.is_none() {
+            self.suspended_at = Some(at);
+        }
+    }
+
+    /// Resumes from the bitmap after both endpoints recovered: blocks
+    /// already at the destination stay valid (persistent media), the copier
+    /// continues where it left off.
+    pub fn resume(&mut self) {
+        if self.suspended_at.take().is_some() {
+            self.resumes += 1;
+        }
+    }
+
+    /// Records a write that had to land at the source because the
+    /// destination was unreachable: the destination copy (if any) is stale
+    /// and the block must be re-sent. Returns whether a previously-migrated
+    /// block was invalidated.
+    pub fn record_stale_write(&mut self, block: u64) -> bool {
+        self.dirty.clear(block);
+        if self.bitmap.clear(block) {
+            self.invalidated_blocks += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Blocks that must be written back to the source if the migration
+    /// aborts (their only up-to-date copy is at the destination), in
+    /// ascending order.
+    pub fn dirty_blocks(&self) -> Vec<u64> {
+        self.dirty.iter_set().collect()
     }
 }
 
@@ -278,6 +399,42 @@ mod tests {
     }
 
     #[test]
+    fn next_clear_crosses_word_boundaries() {
+        // A 130-block bitmap spans three words with a 2-bit tail.
+        let mut b = Bitmap::new(130);
+        for block in 0..128 {
+            b.set(block);
+        }
+        assert_eq!(b.next_clear(0), Some(128));
+        assert_eq!(b.next_clear(129), Some(129));
+        b.set(129);
+        // Wrap from past-the-tail back around to the last clear bit.
+        assert_eq!(b.next_clear(129), Some(128));
+        b.set(128);
+        assert_eq!(b.next_clear(77), None);
+    }
+
+    #[test]
+    fn clear_undoes_set() {
+        let mut b = Bitmap::new(70);
+        assert!(b.set(65));
+        assert!(b.clear(65), "was set");
+        assert!(!b.clear(65), "already clear");
+        assert_eq!(b.count_set(), 0);
+        assert_eq!(b.next_clear(65), Some(65));
+    }
+
+    #[test]
+    fn iter_set_lists_bits_in_order() {
+        let mut b = Bitmap::new(200);
+        for block in [0u64, 63, 64, 127, 199] {
+            b.set(block);
+        }
+        assert_eq!(b.iter_set().collect::<Vec<_>>(), vec![0, 63, 64, 127, 199]);
+        assert_eq!(Bitmap::new(10).iter_set().count(), 0);
+    }
+
+    #[test]
     fn cost_benefit_formulas() {
         let unit = UnitCosts {
             src_read_us: 60.0,
@@ -316,6 +473,43 @@ mod tests {
         assert_eq!(m.mirrored_blocks + m.copied_blocks, 4);
     }
 
+    #[test]
+    fn suspend_resume_abort_bookkeeping() {
+        let mut m = ActiveMigration::new(
+            VmdkId(2),
+            DatastoreId(0),
+            DatastoreId(1),
+            MigrationMode::Mirror,
+            8,
+            SimTime::ZERO,
+        );
+        m.record_mirrored_write(3);
+        let b = m.next_copy_block().unwrap();
+        m.record_copied(b);
+        assert_eq!(
+            m.dirty_blocks(),
+            vec![3],
+            "only the mirrored write is dirty"
+        );
+
+        m.suspend(SimTime::from_ms(5));
+        m.suspend(SimTime::from_ms(9)); // second outage keeps the first deadline
+        assert_eq!(m.suspended_at, Some(SimTime::from_ms(5)));
+
+        // A stale write to a migrated block invalidates the destination copy.
+        assert!(m.record_stale_write(3));
+        assert!(!m.record_stale_write(7), "block 7 never migrated");
+        assert_eq!(m.invalidated_blocks, 1);
+        assert!(m.dirty_blocks().is_empty());
+        assert!(!m.bitmap.get(3), "block 3 must be re-sent");
+
+        m.resume();
+        assert!(!m.suspended());
+        assert_eq!(m.resumes, 1);
+        m.resume(); // idempotent while running
+        assert_eq!(m.resumes, 1);
+    }
+
     proptest! {
         /// Migrated ∪ pending always partitions the VMDK: counts stay
         /// consistent through arbitrary mirror/copy interleavings.
@@ -340,6 +534,94 @@ mod tests {
                     256
                 );
                 prop_assert_eq!(m.mirrored_blocks + m.copied_blocks, m.bitmap.count_set());
+            }
+        }
+
+        /// The word-granularity `next_clear` matches a naive bit-by-bit
+        /// wrap scan on arbitrary bitmaps and start points, including
+        /// non-word-multiple lengths.
+        #[test]
+        fn prop_next_clear_matches_naive(
+            len in 1u64..200,
+            set_bits in proptest::collection::vec(0u64..200, 0..200),
+            from in 0u64..256,
+        ) {
+            let mut b = Bitmap::new(len);
+            for bit in set_bits {
+                if bit < len {
+                    b.set(bit);
+                }
+            }
+            let naive = {
+                let start = from % len;
+                let mut found = None;
+                for k in 0..len {
+                    let i = (start + k) % len;
+                    if !b.get(i) {
+                        found = Some(i);
+                        break;
+                    }
+                }
+                found
+            };
+            prop_assert_eq!(b.next_clear(from), naive);
+        }
+
+        /// Arbitrary interleavings of mirror / copy / stale-write /
+        /// suspend / resume never lose a block: every block always has a
+        /// valid copy somewhere (dirty ⊆ at-destination, so a block absent
+        /// from the destination is by construction clean at the source),
+        /// and the fast bitmap always agrees with a naive reference model.
+        #[test]
+        fn prop_no_block_lost_through_fault_interleavings(
+            ops in proptest::collection::vec((0u8..5, 0u64..96), 0..400),
+        ) {
+            const N: u64 = 96;
+            let mut m = ActiveMigration::new(
+                VmdkId(0),
+                DatastoreId(0),
+                DatastoreId(1),
+                MigrationMode::Mirror,
+                N,
+                SimTime::ZERO,
+            );
+            // Reference model: which blocks have a valid copy at dst, and
+            // which of those superseded their src copy.
+            let mut at_dst = vec![false; N as usize];
+            let mut dirty = vec![false; N as usize];
+            let mut t_ms = 0u64;
+            for (op, block) in ops {
+                t_ms += 1;
+                match op {
+                    0 => {
+                        m.record_mirrored_write(block);
+                        at_dst[block as usize] = true;
+                        dirty[block as usize] = true;
+                    }
+                    1 => {
+                        if let Some(b) = m.next_copy_block() {
+                            m.record_copied(b);
+                            at_dst[b as usize] = true;
+                        }
+                    }
+                    2 => {
+                        m.record_stale_write(block);
+                        at_dst[block as usize] = false;
+                        dirty[block as usize] = false;
+                    }
+                    3 => m.suspend(SimTime::from_ms(t_ms)),
+                    _ => m.resume(),
+                }
+                for b in 0..N as usize {
+                    prop_assert_eq!(m.bitmap.get(b as u64), at_dst[b]);
+                    prop_assert_eq!(m.dirty.get(b as u64), dirty[b]);
+                    // No block lost: dirty (stale src) implies at dst.
+                    prop_assert!(!dirty[b] || at_dst[b]);
+                }
+                prop_assert_eq!(
+                    m.bitmap.count_set() + m.remaining_blocks(),
+                    N
+                );
             }
         }
     }

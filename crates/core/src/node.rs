@@ -10,18 +10,19 @@
 //! through a NIC model.
 
 use crate::datastore::{Datastore, DatastoreId};
-use crate::manager::{DeviceObservation, Manager, MigrationDecision, ResidentInfo};
+use crate::manager::{DeviceHealth, DeviceObservation, Manager, MigrationDecision, ResidentInfo};
 use crate::migration::{ActiveMigration, MigrationMode};
 use crate::policy::PolicyKind;
 use crate::training::pretrain_models;
 use crate::vmdk::{Vmdk, VmdkId};
 use nvhsm_cache::BufferCache;
 use nvhsm_device::{
-    DeviceKind, HddConfig, HddDevice, IoOp, IoRequest, MigrationTuning, NvdimmConfig, NvdimmDevice,
-    SsdConfig, SsdDevice,
+    DeviceKind, HddConfig, HddDevice, IoCompletion, IoError, IoOp, IoRequest, MigrationTuning,
+    NvdimmConfig, NvdimmDevice, SsdConfig, SsdDevice,
 };
+use nvhsm_fault::FaultPlan;
 use nvhsm_model::Features;
-use nvhsm_sim::{OnlineStats, SimDuration, SimRng, SimTime};
+use nvhsm_sim::{Histogram, OnlineStats, SimDuration, SimRng, SimTime};
 use nvhsm_workload::{GenOp, IoGenerator, SpecProgram, SpecTraffic, WorkloadProfile};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -56,6 +57,20 @@ pub struct NodeConfig {
     pub nic_bandwidth: u64,
     /// Cross-node NIC one-way latency.
     pub nic_latency: SimDuration,
+    /// Deterministic fault plan, indexed by datastore. `None` runs the
+    /// fault-free simulation byte-identically to builds without the fault
+    /// subsystem.
+    pub faults: Option<FaultPlan>,
+    /// Resubmissions allowed for a transiently failed workload request.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each further attempt.
+    pub retry_backoff: SimDuration,
+    /// How long a suspended migration may wait for its endpoints to come
+    /// back before it is aborted and rolled back to the source.
+    pub abort_grace: SimDuration,
+    /// How long a datastore stays `Degraded` (excluded from placement and
+    /// balancing, eligible for evacuation) after its last offline window.
+    pub degraded_cooldown: SimDuration,
 }
 
 impl NodeConfig {
@@ -76,6 +91,11 @@ impl NodeConfig {
             lookahead_epochs: 50,
             nic_bandwidth: 125_000_000, // 1 Gb/s
             nic_latency: SimDuration::from_us(100),
+            faults: None,
+            max_retries: 3,
+            retry_backoff: SimDuration::from_us(200),
+            abort_grace: SimDuration::from_ms(400),
+            degraded_cooldown: SimDuration::from_ms(1000),
         }
     }
 }
@@ -125,6 +145,26 @@ pub struct NodeReport {
     pub copied_blocks: u64,
     /// Blocks that reached destinations via mirrored writes.
     pub mirrored_blocks: u64,
+    /// Fraction of workload requests that eventually completed (1.0 with
+    /// no fault plan): served / (served + failed).
+    pub availability: f64,
+    /// 99th-percentile workload latency, µs, over every served request.
+    pub p99_latency_us: f64,
+    /// Device-level I/O errors surfaced to the host (before retries).
+    pub io_errors: u64,
+    /// Requests resubmitted after a transient error.
+    pub retries: u64,
+    /// Workload requests that failed after exhausting retries/fallbacks.
+    pub failed_requests: u64,
+    /// Migrations aborted and rolled back to their source.
+    pub migrations_aborted: u64,
+    /// Migrations suspended by an outage and later resumed from their
+    /// bitmap.
+    pub migrations_resumed: u64,
+    /// Blocks whose only up-to-date copy became unrecoverable. The abort
+    /// protocol only runs with both endpoints reachable, so this must stay
+    /// zero.
+    pub blocks_lost: u64,
     /// NVDIMM buffer-cache hit ratio per epoch, as (cumulative NVDIMM
     /// requests, hit ratio) — Fig. 15's axes.
     ///
@@ -227,6 +267,14 @@ pub struct NodeSim {
     migration_wall: SimDuration,
     copied_blocks: u64,
     mirrored_blocks: u64,
+    io_errors: u64,
+    retries: u64,
+    served_requests: u64,
+    failed_requests: u64,
+    migrations_aborted: u64,
+    migrations_resumed: u64,
+    blocks_lost: u64,
+    latency_hist: Histogram,
     hit_ratio_series: Arc<Vec<(u64, f64)>>,
     nvdimm_latency_series: Arc<Vec<f64>>,
     bus_util_series: Arc<Vec<f64>>,
@@ -283,6 +331,15 @@ impl NodeSim {
                 latency: cfg.nic_latency,
             });
         }
+        if let Some(plan) = &cfg.faults {
+            // Hook RNGs derive from the plan seed and the datastore index
+            // only, so fault draws never perturb the simulation's own RNG
+            // streams (and vice versa) — the backbone of cross-worker
+            // replay determinism.
+            for (i, ds) in datastores.iter_mut().enumerate() {
+                ds.device_mut().install_fault_hook(Some(plan.hook_for(i)));
+            }
+        }
         let spec = cfg
             .spec
             .map(|p| {
@@ -318,6 +375,14 @@ impl NodeSim {
             migration_wall: SimDuration::ZERO,
             copied_blocks: 0,
             mirrored_blocks: 0,
+            io_errors: 0,
+            retries: 0,
+            served_requests: 0,
+            failed_requests: 0,
+            migrations_aborted: 0,
+            migrations_resumed: 0,
+            blocks_lost: 0,
+            latency_hist: Histogram::new(),
             hit_ratio_series: Arc::new(Vec::new()),
             nvdimm_latency_series: Arc::new(Vec::new()),
             bus_util_series: Arc::new(Vec::new()),
@@ -477,6 +542,14 @@ impl NodeSim {
         self.migration_wall = SimDuration::ZERO;
         self.copied_blocks = 0;
         self.mirrored_blocks = 0;
+        self.io_errors = 0;
+        self.retries = 0;
+        self.served_requests = 0;
+        self.failed_requests = 0;
+        self.migrations_aborted = 0;
+        self.migrations_resumed = 0;
+        self.blocks_lost = 0;
+        self.latency_hist = Histogram::new();
         // Fresh Arcs instead of clear(): if an earlier report still shares
         // the old series, clearing through make_mut would first deep-copy
         // data that is about to be discarded anyway.
@@ -500,7 +573,7 @@ impl NodeSim {
             // round, or utilization update.
             let mut t = self.next_epoch.min(self.next_util_update);
             for m in &self.migrations {
-                if m.active.copy_enabled {
+                if m.active.copy_enabled && !m.active.suspended() {
                     t = t.min(m.next_copy_at);
                 }
             }
@@ -531,7 +604,7 @@ impl NodeSim {
             if let Some(mi) = self
                 .migrations
                 .iter()
-                .position(|m| m.active.copy_enabled && m.next_copy_at == t)
+                .position(|m| m.active.copy_enabled && !m.active.suspended() && m.next_copy_at == t)
             {
                 self.copy_round(mi);
                 continue;
@@ -560,6 +633,42 @@ impl NodeSim {
         }
     }
 
+    /// Submits `req` with retry-and-backoff for transient errors. Offline
+    /// errors (and transients past the retry budget) surface to the caller.
+    fn submit_with_retry(&mut self, ds: usize, req: &IoRequest) -> Result<IoCompletion, IoError> {
+        let mut req = *req;
+        let mut attempt = 0u32;
+        loop {
+            match self.datastores[ds].device_mut().try_submit(&req) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    self.io_errors += 1;
+                    if !e.is_retryable() || attempt >= self.cfg.max_retries {
+                        return Err(e);
+                    }
+                    self.retries += 1;
+                    req.arrival = e.at() + self.cfg.retry_backoff * (1u64 << attempt.min(16));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    fn record_served(&mut self, wi: usize, target_ds: usize, completion: &IoCompletion) {
+        self.served_requests += 1;
+        self.workloads[wi]
+            .latency
+            .add(completion.latency.as_us_f64());
+        self.latency_hist.add(completion.latency.as_us_f64());
+        if self.datastores[target_ds].device().kind() == DeviceKind::Nvdimm {
+            self.nvdimm_epoch_latency
+                .add(completion.latency.as_us_f64());
+        }
+        if completion.latency > self.cfg.backpressure {
+            self.workloads[wi].generator.fast_forward(completion.done);
+        }
+    }
+
     fn serve_workload(&mut self, wi: usize) {
         let (arrival, gen) = self.workloads[wi].next;
         let vmdk = self.workloads[wi].vmdk.id();
@@ -569,27 +678,47 @@ impl NodeSim {
         };
 
         // Route: during a mirror/lazy migration of this VMDK, writes go to
-        // the destination and reads follow the bitmap.
+        // the destination and reads follow the bitmap. Bookkeeping happens
+        // only after the I/O succeeds, so a rejected mirrored write never
+        // marks its blocks as present at the destination.
         let mut target_ds = self.workloads[wi].ds;
-        if let Some(m) = self.migrations.iter_mut().find(|m| m.active.vmdk == vmdk) {
-            if m.active.mode != MigrationMode::FullCopy {
+        let mut mirror_route = false; // successful write must set bitmap bits
+        let mut stale_write = false; // successful write must clear bitmap bits
+        let mut fallback_src = None; // source datastore holding a valid copy
+        let mig = self
+            .migrations
+            .iter()
+            .position(|m| m.active.vmdk == vmdk && m.active.mode != MigrationMode::FullCopy);
+        if let Some(mi) = mig {
+            let m = &self.migrations[mi].active;
+            let at_dst = gen.offset < m.bitmap.len() && m.bitmap.get(gen.offset);
+            let dirty = gen.offset < m.dirty.len() && m.dirty.get(gen.offset);
+            if m.suspended() {
+                // The destination is (or was just) unreachable: the source
+                // copy is authoritative for everything it still holds.
                 match op {
                     IoOp::Write => {
-                        target_ds = m.active.dst.0;
-                        for b in gen.offset..gen.offset + gen.size_blocks as u64 {
-                            if b < m.active.bitmap.len() {
-                                m.active.record_mirrored_write(b);
-                            }
-                        }
+                        target_ds = m.src.0;
+                        stale_write = true;
                     }
                     IoOp::Read => {
-                        let at_dst =
-                            gen.offset < m.active.bitmap.len() && m.active.bitmap.get(gen.offset);
-                        target_ds = if at_dst {
-                            m.active.dst.0
-                        } else {
-                            m.active.src.0
-                        };
+                        // Only dirty blocks live solely at the destination;
+                        // copied blocks still have a valid source replica.
+                        target_ds = if dirty { m.dst.0 } else { m.src.0 };
+                    }
+                }
+            } else {
+                match op {
+                    IoOp::Write => {
+                        target_ds = m.dst.0;
+                        mirror_route = true;
+                        fallback_src = Some(m.src.0);
+                    }
+                    IoOp::Read => {
+                        target_ds = if at_dst { m.dst.0 } else { m.src.0 };
+                        if at_dst && !dirty {
+                            fallback_src = Some(m.src.0);
+                        }
                     }
                 }
             }
@@ -601,23 +730,69 @@ impl NodeSim {
             return;
         };
         let req = IoRequest::normal(vmdk.0, block, gen.size_blocks, op, arrival);
-        let completion = self.datastores[target_ds].device_mut().submit(&req);
-        self.workloads[wi]
-            .latency
-            .add(completion.latency.as_us_f64());
-        if self.datastores[target_ds].device().kind() == DeviceKind::Nvdimm {
-            self.nvdimm_epoch_latency
-                .add(completion.latency.as_us_f64());
-        }
-        if completion.latency > self.cfg.backpressure {
-            self.workloads[wi].generator.fast_forward(completion.done);
+        match self.submit_with_retry(target_ds, &req) {
+            Ok(completion) => {
+                self.record_served(wi, target_ds, &completion);
+                if let Some(mi) = mig {
+                    let m = &mut self.migrations[mi].active;
+                    for b in gen.offset..gen.offset + gen.size_blocks as u64 {
+                        if b >= m.bitmap.len() {
+                            continue;
+                        }
+                        if mirror_route {
+                            m.record_mirrored_write(b);
+                        } else if stale_write {
+                            m.record_stale_write(b);
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                // The migration destination went dark mid-flight: suspend
+                // the migration so traffic stays on the source until the
+                // epoch manager resumes or aborts it.
+                if let Some(mi) = mig {
+                    if !e.is_retryable() && target_ds == self.migrations[mi].active.dst.0 {
+                        self.migrations[mi].active.suspend(e.at());
+                    }
+                }
+                let mut served = false;
+                if let Some(src) = fallback_src {
+                    if let Some(src_block) = self.datastores[src].translate(vmdk, gen.offset) {
+                        let retry =
+                            IoRequest::normal(vmdk.0, src_block, gen.size_blocks, op, arrival);
+                        if let Ok(completion) = self.submit_with_retry(src, &retry) {
+                            self.record_served(wi, src, &completion);
+                            served = true;
+                            if mirror_route {
+                                // The write landed on the source instead:
+                                // any destination copies of these blocks are
+                                // stale and must be re-copied.
+                                let m = &mut self.migrations[mig.unwrap()].active;
+                                for b in gen.offset..gen.offset + gen.size_blocks as u64 {
+                                    if b < m.bitmap.len() {
+                                        m.record_stale_write(b);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                if !served {
+                    self.failed_requests += 1;
+                }
+            }
         }
         let next = self.workloads[wi].generator.next_request();
         self.workloads[wi].next = next;
 
         // Mirror-mode migrations whose bitmaps filled up purely by writes
         // complete here.
-        while let Some(mi) = self.migrations.iter().position(|m| m.active.complete()) {
+        while let Some(mi) = self
+            .migrations
+            .iter()
+            .position(|m| m.active.complete() && !m.active.suspended())
+        {
             self.finish_migration(mi);
         }
     }
@@ -647,7 +822,19 @@ impl NodeSim {
                 continue;
             };
             let read = IoRequest::migrated(stream, src_block, 1, IoOp::Read, self.now);
-            let r = self.datastores[src].device_mut().submit(&read);
+            let r = match self.datastores[src].device_mut().try_submit(&read) {
+                Ok(c) => c,
+                Err(e) => {
+                    self.io_errors += 1;
+                    if !e.is_retryable() {
+                        // Source offline: park the migration; its bitmap
+                        // survives for a later resume.
+                        self.migrations[mi].active.suspend(e.at());
+                        break;
+                    }
+                    continue; // bit stays clear; a later round re-copies it
+                }
+            };
             let mut write_at = r.done;
             if cross_node {
                 write_at = self.nics[src_node].transfer(4096, r.done);
@@ -656,12 +843,25 @@ impl NodeSim {
                 continue;
             };
             let write = IoRequest::migrated(stream, dst_block, 1, IoOp::Write, write_at);
-            let w = self.datastores[dst].device_mut().submit(&write);
+            let w = match self.datastores[dst].device_mut().try_submit(&write) {
+                Ok(c) => c,
+                Err(e) => {
+                    self.io_errors += 1;
+                    if !e.is_retryable() {
+                        self.migrations[mi].active.suspend(e.at());
+                        break;
+                    }
+                    continue;
+                }
+            };
             round_done = round_done.max(w.done);
             self.migrations[mi].active.record_copied(offset);
             self.copied_blocks += 1;
         }
         self.migration_busy += round_done.saturating_since(self.now);
+        if self.migrations[mi].active.suspended() {
+            return; // the epoch manager decides between resume and abort
+        }
         if self.migrations[mi].active.complete() {
             self.finish_migration(mi);
         } else {
@@ -749,12 +949,147 @@ impl NodeSim {
         });
     }
 
+    /// Health of datastore `i` as seen by the manager: offline now →
+    /// `Offline`; offline at any point in the trailing
+    /// [`NodeConfig::degraded_cooldown`] window → `Degraded` (flapping
+    /// devices stay excluded from placement until they prove stable).
+    /// Only the past is consulted — the manager gets no fault oracle.
+    fn store_health(&self, i: usize) -> DeviceHealth {
+        let Some(plan) = &self.cfg.faults else {
+            return DeviceHealth::Healthy;
+        };
+        let schedule = plan.device(i);
+        if schedule.offline_at(self.now) {
+            DeviceHealth::Offline
+        } else if schedule.offline_in(self.now - self.cfg.degraded_cooldown, self.now) {
+            DeviceHealth::Degraded
+        } else {
+            DeviceHealth::Healthy
+        }
+    }
+
+    /// Submits with a generous retry budget (abort/rollback traffic, where
+    /// giving up means losing a block). Offline windows are skipped over
+    /// using the schedule's known recovery time.
+    fn submit_generous(&mut self, ds: usize, mut req: IoRequest) -> Option<IoCompletion> {
+        for attempt in 0..16u32 {
+            match self.datastores[ds].device_mut().try_submit(&req) {
+                Ok(c) => return Some(c),
+                Err(e) => {
+                    self.io_errors += 1;
+                    let mut next = e.at() + self.cfg.retry_backoff * (1u64 << attempt.min(8));
+                    if !e.is_retryable() {
+                        if let Some(until) = self
+                            .cfg
+                            .faults
+                            .as_ref()
+                            .and_then(|p| p.device(ds).offline_until(e.at()))
+                        {
+                            next = next.max(until);
+                        }
+                    }
+                    req.arrival = next;
+                }
+            }
+        }
+        None
+    }
+
+    /// Aborts a suspended migration: dirty blocks (whose only current copy
+    /// is at the destination) are written back to the source, the
+    /// destination placement is discarded, and the source stays
+    /// authoritative. Callers must ensure both endpoints are reachable.
+    fn abort_migration(&mut self, mi: usize) {
+        let m = self.migrations.remove(mi);
+        let vmdk = m.active.vmdk;
+        let src = m.active.src.0;
+        let dst = m.active.dst.0;
+        self.migration_wall += self.now.saturating_since(m.active.started);
+        self.migrations_aborted += 1;
+        self.mirrored_blocks += m.active.mirrored_blocks;
+        let stream = 2_000_000 + vmdk.0;
+        let mut at = self.now;
+        for offset in m.active.dirty_blocks() {
+            let (Some(src_block), Some(dst_block)) = (
+                self.datastores[src].translate(vmdk, offset),
+                self.datastores[dst].translate(vmdk, offset),
+            ) else {
+                self.blocks_lost += 1;
+                continue;
+            };
+            let read = IoRequest::migrated(stream, dst_block, 1, IoOp::Read, at);
+            let write_back = self.submit_generous(dst, read).and_then(|r| {
+                let write = IoRequest::migrated(stream, src_block, 1, IoOp::Write, r.done);
+                self.submit_generous(src, write)
+            });
+            match write_back {
+                Some(w) => at = w.done,
+                None => self.blocks_lost += 1,
+            }
+        }
+        if self.datastores[dst].hosts(vmdk) {
+            self.datastores[dst].remove(vmdk);
+        }
+        // The rolled-back copy was real interference; cool down as after a
+        // completed migration.
+        self.decision_cooldown_until = self.now + self.cfg.epoch * 3;
+    }
+
+    /// Epoch-boundary fault handling: suspend migrations with an offline
+    /// endpoint; once both endpoints are back, resume from the bitmap if
+    /// the outage was short, abort and roll back if it overstayed
+    /// [`NodeConfig::abort_grace`].
+    fn manage_faults(&mut self) {
+        if self.cfg.faults.is_none() {
+            return;
+        }
+        let health: Vec<DeviceHealth> = (0..self.datastores.len())
+            .map(|i| self.store_health(i))
+            .collect();
+        for m in &mut self.migrations {
+            let endpoint_down = health[m.active.src.0] == DeviceHealth::Offline
+                || health[m.active.dst.0] == DeviceHealth::Offline;
+            if endpoint_down && !m.active.suspended() {
+                m.active.suspend(self.now);
+            }
+        }
+        let mut i = 0;
+        while i < self.migrations.len() {
+            let (src, dst, since) = {
+                let a = &self.migrations[i].active;
+                match a.suspended_at {
+                    Some(t) => (a.src.0, a.dst.0, t),
+                    None => {
+                        i += 1;
+                        continue;
+                    }
+                }
+            };
+            if health[src] == DeviceHealth::Offline || health[dst] == DeviceHealth::Offline {
+                i += 1; // still down: keep waiting (blocks are safe, just dark)
+                continue;
+            }
+            if self.now.saturating_since(since) <= self.cfg.abort_grace {
+                let m = &mut self.migrations[i];
+                m.active.resume();
+                m.next_copy_at = self.now;
+                self.migrations_resumed += 1;
+                i += 1;
+            } else {
+                self.abort_migration(i); // removes the entry; don't advance
+            }
+        }
+    }
+
     /// Builds per-datastore observations. `roll` closes the devices'
     /// epoch counters (the manager path); `false` peeks with empty epochs
     /// (initial placement before any traffic).
     fn observe(&mut self, roll: bool) -> Vec<DeviceObservation> {
         let epoch_secs = self.cfg.epoch.as_secs_f64();
         let lookahead = self.cfg.lookahead_epochs as f64 * epoch_secs;
+        let health: Vec<DeviceHealth> = (0..self.datastores.len())
+            .map(|i| self.store_health(i))
+            .collect();
         let mut out = Vec::with_capacity(self.datastores.len());
         for (i, ds) in self.datastores.iter_mut().enumerate() {
             let epoch = if roll {
@@ -797,12 +1132,14 @@ impl NodeSim {
                 free_space,
                 free_capacity_blocks: ds.largest_free_extent(),
                 residents,
+                health: health[i],
             });
         }
         out
     }
 
     fn run_epoch(&mut self) {
+        self.manage_faults();
         let observations = self.observe(true);
 
         // Fig. 15 bookkeeping: NVDIMM cache hit ratio this epoch.
@@ -889,6 +1226,12 @@ impl NodeSim {
                 );
             }
             self.start_migration(d);
+        } else if !busy {
+            // No balance move this epoch: check for residents stranded on
+            // a degraded store and evacuate the hottest one.
+            if let Some(d) = self.manager.evacuation_decision(&observations) {
+                self.start_migration(d);
+            }
         }
     }
 
@@ -935,6 +1278,21 @@ impl NodeSim {
                     .iter()
                     .map(|m| m.active.mirrored_blocks)
                     .sum::<u64>(),
+            availability: {
+                let attempts = self.served_requests + self.failed_requests;
+                if attempts == 0 {
+                    1.0
+                } else {
+                    self.served_requests as f64 / attempts as f64
+                }
+            },
+            p99_latency_us: self.latency_hist.percentile(99.0),
+            io_errors: self.io_errors,
+            retries: self.retries,
+            failed_requests: self.failed_requests,
+            migrations_aborted: self.migrations_aborted,
+            migrations_resumed: self.migrations_resumed,
+            blocks_lost: self.blocks_lost,
             // O(1) handle copies — see the NodeReport field docs.
             nvdimm_hit_ratio: Arc::clone(&self.hit_ratio_series),
             nvdimm_latency_series: Arc::clone(&self.nvdimm_latency_series),
@@ -1047,6 +1405,146 @@ mod tests {
         let report = sim.run_secs(1);
         assert_eq!(report.devices.len(), 9);
         assert!(report.io_count > 0);
+    }
+
+    #[test]
+    fn fault_free_plan_changes_nothing() {
+        // A config with an all-healthy plan must replay the fault-free run
+        // byte-identically: hooks exist but never fire.
+        let run = |faults: Option<nvhsm_fault::FaultPlan>| {
+            let mut cfg = quick_cfg(PolicyKind::Bca);
+            cfg.faults = faults;
+            let mut sim = NodeSim::new(cfg, 17);
+            sim.add_workload(profile(Benchmark::Sort).with_working_set(8_000));
+            sim.add_workload(profile(Benchmark::Bayes).with_working_set(6_000));
+            sim.run_secs(2)
+        };
+        let plain = run(None);
+        let healthy = run(Some(nvhsm_fault::FaultPlan::healthy(3)));
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&healthy).unwrap()
+        );
+        assert_eq!(plain.availability, 1.0);
+        assert_eq!(plain.io_errors, 0);
+        assert!(plain.p99_latency_us > 0.0);
+    }
+
+    #[test]
+    fn faulty_run_retries_and_never_loses_blocks() {
+        let horizon = SimDuration::from_secs(3);
+        let mut cfg = quick_cfg(PolicyKind::Basil);
+        cfg.tau = 0.3;
+        cfg.faults = Some(nvhsm_fault::FaultPlan::generate(
+            99,
+            3,
+            horizon,
+            nvhsm_fault::FaultIntensity::Severe,
+        ));
+        let mut sim = NodeSim::new(cfg, 5);
+        sim.add_workload_on(profile(Benchmark::Pagerank).with_working_set(20_000), 2);
+        sim.add_workload_on(profile(Benchmark::Bayes).with_working_set(6_000), 1);
+        let report = sim.run_secs(3);
+        assert!(report.io_errors > 0, "severe plan produced no errors");
+        assert!(report.retries > 0, "no retry attempts recorded");
+        assert!(
+            report.availability > 0.5 && report.availability <= 1.0,
+            "availability {}",
+            report.availability
+        );
+        assert_eq!(report.blocks_lost, 0, "abort/rollback lost data");
+    }
+
+    #[test]
+    fn faulty_run_is_deterministic() {
+        let run = || {
+            let horizon = SimDuration::from_secs(2);
+            let mut cfg = quick_cfg(PolicyKind::Basil);
+            cfg.tau = 0.3;
+            cfg.faults = Some(nvhsm_fault::FaultPlan::generate(
+                7,
+                3,
+                horizon,
+                nvhsm_fault::FaultIntensity::Moderate,
+            ));
+            let mut sim = NodeSim::new(cfg, 5);
+            sim.add_workload_on(profile(Benchmark::Pagerank).with_working_set(20_000), 2);
+            sim.run_secs(2)
+        };
+        let a = serde_json::to_string(&run()).unwrap();
+        let b = serde_json::to_string(&run()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn offline_destination_suspends_and_recovers_migration() {
+        use crate::datastore::DatastoreId;
+        use nvhsm_fault::{DeviceFaultSchedule, FaultKind, FaultWindow};
+
+        // Hand-built plan: the SSD (ds 1) drops offline shortly after the
+        // run starts and comes back quickly — within the abort grace.
+        let schedules = vec![
+            DeviceFaultSchedule::healthy(),
+            DeviceFaultSchedule::from_windows(vec![FaultWindow {
+                from: SimTime::from_ms(600),
+                until: SimTime::from_ms(900),
+                kind: FaultKind::Offline,
+            }]),
+            DeviceFaultSchedule::healthy(),
+        ];
+        let mut cfg = quick_cfg(PolicyKind::Bca);
+        cfg.faults = Some(nvhsm_fault::FaultPlan::from_schedules(schedules, 3));
+        cfg.degraded_cooldown = SimDuration::from_ms(200);
+        let mut sim = NodeSim::new(cfg, 5);
+        sim.add_workload_on(profile(Benchmark::Pagerank).with_working_set(20_000), 2);
+        // Force a lazy migration HDD -> SSD into the outage window.
+        sim.run(SimDuration::from_ms(400));
+        let start = crate::manager::MigrationDecision {
+            vmdk: VmdkId(0),
+            src: DatastoreId(2),
+            dst: DatastoreId(1),
+            mode: MigrationMode::Lazy,
+        };
+        sim.start_migration(start);
+        assert_eq!(sim.active_migrations(), 1);
+        let report = sim.run(SimDuration::from_secs(4));
+        // The migration either resumed after the outage and completed, or
+        // is still copying — but nothing was lost either way.
+        assert_eq!(report.blocks_lost, 0);
+        assert!(
+            report.migrations_resumed >= 1 || report.migrations_aborted >= 1,
+            "outage never touched the migration: {report:?}"
+        );
+    }
+
+    #[test]
+    fn degraded_store_gets_evacuated() {
+        use nvhsm_fault::{DeviceFaultSchedule, FaultKind, FaultWindow};
+
+        // The HDD (ds 2) flaps early, then stays up; its resident should be
+        // moved off by the evacuation path even with balancing disabled.
+        let schedules = vec![
+            DeviceFaultSchedule::healthy(),
+            DeviceFaultSchedule::healthy(),
+            DeviceFaultSchedule::from_windows(vec![FaultWindow {
+                from: SimTime::from_ms(300),
+                until: SimTime::from_ms(500),
+                kind: FaultKind::Offline,
+            }]),
+        ];
+        let mut cfg = quick_cfg(PolicyKind::Bca);
+        cfg.tau = 1.0; // imbalance path effectively never triggers
+        cfg.faults = Some(nvhsm_fault::FaultPlan::from_schedules(schedules, 11));
+        cfg.degraded_cooldown = SimDuration::from_secs(2);
+        let mut sim = NodeSim::new(cfg, 5);
+        let v = sim.add_workload_on(profile(Benchmark::Bayes).with_working_set(6_000), 2);
+        let report = sim.run_secs(4);
+        assert!(
+            report.migrations_started >= 1,
+            "no evacuation started: {report:?}"
+        );
+        let placed = sim.placement_of(v).unwrap();
+        assert_ne!(placed, 2, "resident still on the degraded store");
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Shared fault-hook plumbing for the device models.
+//!
+//! Every device consults its [`FaultGate`] at the top of
+//! [`StorageDevice::try_submit`](crate::StorageDevice::try_submit): failing
+//! windows (transient, offline) reject the request *before* it touches any
+//! device state — the request never reached the medium, so caches, FTL
+//! mappings, cursors and busy horizons stay untouched — while degrading
+//! windows (latency spikes, stalls) let the request through and then warp
+//! its completion time.
+
+use crate::io::{IoCompletion, IoError};
+use nvhsm_fault::{DeviceFaultHook, FaultOutcome};
+use nvhsm_sim::{SimDuration, SimTime};
+
+/// Per-device fault state: an optional installed hook.
+#[derive(Debug, Default)]
+pub(crate) struct FaultGate {
+    hook: Option<DeviceFaultHook>,
+}
+
+impl FaultGate {
+    /// Installs (or clears) the hook.
+    pub fn install(&mut self, hook: Option<DeviceFaultHook>) {
+        self.hook = hook;
+    }
+
+    /// Classifies a request arriving at `at`: either it fails outright
+    /// (`Err`), or it proceeds with a [`Disposition`] describing how its
+    /// completion must be warped.
+    pub fn decide(&mut self, at: SimTime) -> Result<Disposition, IoError> {
+        let Some(hook) = self.hook.as_mut() else {
+            return Ok(Disposition::HEALTHY);
+        };
+        match hook.outcome(at) {
+            FaultOutcome::Healthy => Ok(Disposition::HEALTHY),
+            FaultOutcome::Slowed { factor } => Ok(Disposition {
+                factor,
+                floor: SimTime::ZERO,
+            }),
+            FaultOutcome::StalledUntil { until } => Ok(Disposition {
+                factor: 1.0,
+                floor: until,
+            }),
+            FaultOutcome::TransientError => Err(IoError::Transient { at }),
+            FaultOutcome::Offline => Err(IoError::Offline { at }),
+        }
+    }
+}
+
+/// How a served request's completion is warped by the active fault window.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Disposition {
+    /// Multiplicative latency stretch (1.0 = none).
+    factor: f64,
+    /// Earliest allowed completion instant (stall window end).
+    floor: SimTime,
+}
+
+impl Disposition {
+    const HEALTHY: Disposition = Disposition {
+        factor: 1.0,
+        floor: SimTime::ZERO,
+    };
+
+    /// Builds the final completion from the fault-free finish time,
+    /// stretching the latency and applying the stall floor. The warped
+    /// latency is what the device records in its stats, so the manager's
+    /// measured-latency features see the degradation.
+    pub fn complete(&self, arrival: SimTime, done: SimTime) -> IoCompletion {
+        let stretched = if self.factor > 1.0 {
+            let ns = done.saturating_since(arrival).as_ns() as f64 * self.factor;
+            arrival + SimDuration::from_ns_f64(ns)
+        } else {
+            done
+        };
+        IoCompletion::finished(arrival, stretched.max(self.floor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvhsm_fault::{DeviceFaultSchedule, FaultKind, FaultWindow};
+    use nvhsm_sim::SimRng;
+
+    fn gate_with(kind: FaultKind) -> FaultGate {
+        let schedule = DeviceFaultSchedule::from_windows(vec![FaultWindow {
+            from: SimTime::from_ms(10),
+            until: SimTime::from_ms(20),
+            kind,
+        }]);
+        let mut gate = FaultGate::default();
+        gate.install(Some(DeviceFaultHook::new(schedule, SimRng::new(1))));
+        gate
+    }
+
+    #[test]
+    fn no_hook_is_always_healthy() {
+        let mut gate = FaultGate::default();
+        let disp = gate.decide(SimTime::from_ms(15)).unwrap();
+        let c = disp.complete(SimTime::ZERO, SimTime::from_us(5));
+        assert_eq!(c.done, SimTime::from_us(5));
+    }
+
+    #[test]
+    fn offline_window_rejects_inside_only() {
+        let mut gate = gate_with(FaultKind::Offline);
+        assert!(gate.decide(SimTime::from_ms(5)).is_ok());
+        let err = gate.decide(SimTime::from_ms(15)).unwrap_err();
+        assert_eq!(
+            err,
+            IoError::Offline {
+                at: SimTime::from_ms(15)
+            }
+        );
+        assert!(gate.decide(SimTime::from_ms(25)).is_ok());
+    }
+
+    #[test]
+    fn spike_stretches_latency() {
+        let mut gate = gate_with(FaultKind::LatencySpike { factor: 3.0 });
+        let disp = gate.decide(SimTime::from_ms(15)).unwrap();
+        let arrival = SimTime::from_ms(15);
+        let c = disp.complete(arrival, arrival + SimDuration::from_us(100));
+        assert_eq!(c.latency, SimDuration::from_us(300));
+    }
+
+    #[test]
+    fn stall_floors_completion_at_window_end() {
+        let mut gate = gate_with(FaultKind::Stall);
+        let disp = gate.decide(SimTime::from_ms(15)).unwrap();
+        let arrival = SimTime::from_ms(15);
+        let c = disp.complete(arrival, arrival + SimDuration::from_us(100));
+        assert_eq!(c.done, SimTime::from_ms(20));
+    }
+}

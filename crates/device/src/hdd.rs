@@ -6,9 +6,11 @@
 //! latency rises *linearly* with the random fraction (Fig. 5 (c)) and with
 //! outstanding I/Os.
 
-use crate::io::{DeviceKind, IoCompletion, IoRequest};
+use crate::fault_gate::FaultGate;
+use crate::io::{DeviceKind, IoCompletion, IoError, IoRequest};
 use crate::stats::DeviceStats;
 use crate::StorageDevice;
+use nvhsm_fault::DeviceFaultHook;
 use nvhsm_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -76,6 +78,7 @@ pub struct HddDevice {
     /// the single shared resource).
     cursor: HashMap<u32, u64>,
     stats: DeviceStats,
+    fault: FaultGate,
 }
 
 impl HddDevice {
@@ -92,20 +95,18 @@ impl HddDevice {
             head_free: SimTime::ZERO,
             cursor: HashMap::new(),
             stats: DeviceStats::new(),
+            fault: FaultGate::default(),
         }
     }
 
     fn transfer_time(&self, bytes: u64) -> SimDuration {
         SimDuration::from_ns_f64(bytes as f64 * 1e9 / self.cfg.media_rate as f64)
     }
-}
 
-impl StorageDevice for HddDevice {
-    fn kind(&self) -> DeviceKind {
-        DeviceKind::Hdd
-    }
-
-    fn submit(&mut self, req: &IoRequest) -> IoCompletion {
+    /// Mechanical service: sequential detection, seek + rotation, head
+    /// serialization. Returns the fault-free finish time and advances the
+    /// cursor and head horizon.
+    fn service(&mut self, req: &IoRequest) -> SimTime {
         let sequential = self
             .cursor
             .get(&req.stream)
@@ -122,11 +123,35 @@ impl StorageDevice for HddDevice {
         let start = req.arrival.max(self.head_free);
         let done = start + service;
         self.head_free = done;
+        let _ = req.op; // reads and writes are mechanically symmetric here
+        done
+    }
+}
 
+impl StorageDevice for HddDevice {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Hdd
+    }
+
+    fn submit(&mut self, req: &IoRequest) -> IoCompletion {
+        let done = self.service(req);
         let completion = IoCompletion::finished(req.arrival, done);
         self.stats.record(req, completion.latency);
-        let _ = req.op; // reads and writes are mechanically symmetric here
         completion
+    }
+
+    fn try_submit(&mut self, req: &IoRequest) -> Result<IoCompletion, IoError> {
+        // Failing windows reject before the head moves: cursor and busy
+        // horizon stay untouched.
+        let disposition = self.fault.decide(req.arrival)?;
+        let done = self.service(req);
+        let completion = disposition.complete(req.arrival, done);
+        self.stats.record(req, completion.latency);
+        Ok(completion)
+    }
+
+    fn install_fault_hook(&mut self, hook: Option<DeviceFaultHook>) {
+        self.fault.install(hook);
     }
 
     fn logical_blocks(&self) -> u64 {
@@ -229,6 +254,43 @@ mod tests {
         let c1 = d.submit(&IoRequest::normal(1, 999_999, 1, IoOp::Read, SimTime::ZERO));
         assert!(c1.done > c0.done);
         assert!(c1.latency > c0.latency);
+    }
+
+    #[test]
+    fn offline_rejection_leaves_head_untouched() {
+        use nvhsm_fault::{DeviceFaultHook, DeviceFaultSchedule, FaultKind, FaultWindow};
+
+        let mut d = dev();
+        let schedule = DeviceFaultSchedule::from_windows(vec![FaultWindow {
+            from: SimTime::ZERO,
+            until: SimTime::from_ms(100),
+            kind: FaultKind::Offline,
+        }]);
+        d.install_fault_hook(Some(DeviceFaultHook::new(schedule, SimRng::new(6))));
+
+        let err = d
+            .try_submit(&IoRequest::normal(
+                0,
+                42,
+                1,
+                IoOp::Read,
+                SimTime::from_ms(5),
+            ))
+            .unwrap_err();
+        assert!(!err.is_retryable());
+        // The head never moved: the rejected request cost no mechanical time.
+        assert_eq!(d.drained_at(), SimTime::ZERO);
+        // After recovery the same request serves normally.
+        let c = d
+            .try_submit(&IoRequest::normal(
+                0,
+                42,
+                1,
+                IoOp::Read,
+                SimTime::from_ms(100),
+            ))
+            .unwrap();
+        assert!(c.latency.as_ms_f64() > 5.0);
     }
 
     #[test]

@@ -84,6 +84,49 @@ impl IoRequest {
     }
 }
 
+/// Why a device failed a request.
+///
+/// Errors carry the instant the failure was detected so the host can charge
+/// the time spent discovering the fault (and schedule retries after it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IoError {
+    /// A retryable failure: the device is reachable but this request was
+    /// dropped (bit flip, CRC mismatch, command timeout). Retrying after a
+    /// backoff may succeed.
+    Transient {
+        /// When the failure was reported to the host.
+        at: SimTime,
+    },
+    /// The device is unreachable; retries are pointless until it recovers.
+    Offline {
+        /// When the failure was reported to the host.
+        at: SimTime,
+    },
+}
+
+impl IoError {
+    /// The instant the failure was reported.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            IoError::Transient { at } | IoError::Offline { at } => at,
+        }
+    }
+
+    /// Whether retrying (after a backoff) can succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, IoError::Transient { .. })
+    }
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Transient { at } => write!(f, "transient I/O error at {at}"),
+            IoError::Offline { at } => write!(f, "device offline at {at}"),
+        }
+    }
+}
+
 /// Completion of a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IoCompletion {
@@ -124,6 +167,22 @@ mod tests {
     fn completion_latency_computed() {
         let c = IoCompletion::finished(SimTime::from_us(10), SimTime::from_us(25));
         assert_eq!(c.latency, SimDuration::from_us(15));
+    }
+
+    #[test]
+    fn io_error_classification() {
+        let t = IoError::Transient {
+            at: SimTime::from_us(3),
+        };
+        let o = IoError::Offline {
+            at: SimTime::from_us(7),
+        };
+        assert!(t.is_retryable());
+        assert!(!o.is_retryable());
+        assert_eq!(t.at(), SimTime::from_us(3));
+        assert_eq!(o.at(), SimTime::from_us(7));
+        assert!(t.to_string().contains("transient"));
+        assert!(o.to_string().contains("offline"));
     }
 
     #[test]

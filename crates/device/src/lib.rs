@@ -42,6 +42,7 @@
 //! assert_eq!(dev.kind(), DeviceKind::Nvdimm);
 //! ```
 
+mod fault_gate;
 pub mod hdd;
 pub mod io;
 pub mod nvdimm;
@@ -50,12 +51,13 @@ pub mod stats;
 pub mod trace;
 
 pub use hdd::{HddConfig, HddDevice};
-pub use io::{DeviceKind, IoCompletion, IoOp, IoRequest};
+pub use io::{DeviceKind, IoCompletion, IoError, IoOp, IoRequest};
 pub use nvdimm::{MigrationTuning, NvdimmConfig, NvdimmDevice};
 pub use ssd::{SsdConfig, SsdDevice};
 pub use stats::{DeviceStats, EpochStats};
 pub use trace::{IoTrace, TraceRecord};
 
+use nvhsm_fault::DeviceFaultHook;
 use nvhsm_sim::SimTime;
 use std::any::Any;
 
@@ -74,7 +76,29 @@ pub trait StorageDevice: Send {
     fn kind(&self) -> DeviceKind;
 
     /// Serves one request; returns its completion.
+    ///
+    /// This path ignores any installed fault hook — it models the
+    /// fault-free fast path and keeps legacy callers (experiments that
+    /// predate fault injection) behaving exactly as before. Fault-aware
+    /// hosts use [`StorageDevice::try_submit`].
     fn submit(&mut self, req: &IoRequest) -> IoCompletion;
+
+    /// Serves one request under the installed fault hook, if any.
+    ///
+    /// Healthy windows behave exactly like [`StorageDevice::submit`].
+    /// Latency-spike windows stretch the completion, stall windows defer it
+    /// to the window end, and transient/offline windows fail the request
+    /// with an [`IoError`] without advancing device state (the request
+    /// never reached the medium). The default implementation — used by
+    /// devices without fault support — always succeeds.
+    fn try_submit(&mut self, req: &IoRequest) -> Result<IoCompletion, IoError> {
+        Ok(self.submit(req))
+    }
+
+    /// Installs (or clears) the fault hook consulted by
+    /// [`StorageDevice::try_submit`]. Default is a no-op for devices
+    /// without fault support.
+    fn install_fault_hook(&mut self, _hook: Option<DeviceFaultHook>) {}
 
     /// Logical capacity in 4 KiB blocks.
     fn logical_blocks(&self) -> u64;

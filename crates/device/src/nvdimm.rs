@@ -12,10 +12,12 @@
 //! * an ordered persistent-write lane reproducing the §5.3.1 barrier
 //!   effect, with the migration-aware scheduling switches.
 
-use crate::io::{DeviceKind, IoCompletion, IoOp, IoRequest};
+use crate::fault_gate::FaultGate;
+use crate::io::{DeviceKind, IoCompletion, IoError, IoOp, IoRequest};
 use crate::stats::DeviceStats;
 use crate::StorageDevice;
 use nvhsm_cache::{AccessClass, BufferCache, BypassCache, LrfuCache};
+use nvhsm_fault::DeviceFaultHook;
 use nvhsm_flash::{FlashConfig, FlashDevice};
 use nvhsm_mem::{AnalyticBus, BusModel, DramConfig};
 use nvhsm_sim::{SimDuration, SimTime};
@@ -162,6 +164,7 @@ pub struct NvdimmDevice {
     persist_writes_since_barrier: u32,
     stats: DeviceStats,
     write_backs: u64,
+    fault: FaultGate,
 }
 
 impl NvdimmDevice {
@@ -185,6 +188,7 @@ impl NvdimmDevice {
             persist_writes_since_barrier: 0,
             stats: DeviceStats::new(),
             write_backs: 0,
+            fault: FaultGate::default(),
         }
     }
 
@@ -346,6 +350,23 @@ impl StorageDevice for NvdimmDevice {
         let completion = IoCompletion::finished(req.arrival, done);
         self.stats.record(req, completion.latency);
         completion
+    }
+
+    fn try_submit(&mut self, req: &IoRequest) -> Result<IoCompletion, IoError> {
+        // Failing windows reject before serve_* runs: the request never
+        // reaches the cache, the persistent lane or NAND.
+        let disposition = self.fault.decide(req.arrival)?;
+        let done = match req.op {
+            IoOp::Read => self.serve_read(req),
+            IoOp::Write => self.serve_write(req),
+        };
+        let completion = disposition.complete(req.arrival, done);
+        self.stats.record(req, completion.latency);
+        Ok(completion)
+    }
+
+    fn install_fault_hook(&mut self, hook: Option<DeviceFaultHook>) {
+        self.fault.install(hook);
     }
 
     fn logical_blocks(&self) -> u64 {
@@ -536,6 +557,45 @@ mod tests {
         let block = run(false);
         let dax = run(true);
         assert!(dax < block, "DAX path not faster: {dax} vs {block}");
+    }
+
+    #[test]
+    fn fault_hook_rejects_and_stretches() {
+        use nvhsm_fault::{DeviceFaultHook, DeviceFaultSchedule, FaultKind, FaultWindow};
+        use nvhsm_sim::SimRng;
+
+        let mut d = dev();
+        d.prefill(0..1000);
+        let schedule = DeviceFaultSchedule::from_windows(vec![
+            FaultWindow {
+                from: SimTime::from_ms(1),
+                until: SimTime::from_ms(2),
+                kind: FaultKind::Offline,
+            },
+            FaultWindow {
+                from: SimTime::from_ms(3),
+                until: SimTime::from_ms(4),
+                kind: FaultKind::LatencySpike { factor: 5.0 },
+            },
+        ]);
+        d.install_fault_hook(Some(DeviceFaultHook::new(schedule, SimRng::new(2))));
+
+        // Healthy before the first window: same as submit would produce.
+        let ok = d.try_submit(&read(500, SimTime::ZERO)).unwrap();
+        assert!(ok.latency > SimDuration::ZERO);
+        // Inside the offline window: rejected.
+        let err = d.try_submit(&read(501, SimTime::from_ms(1))).unwrap_err();
+        assert!(!err.is_retryable());
+        // Inside the spike window: served, but ~5x slower than a healthy
+        // cold read.
+        let slow = d.try_submit(&read(502, SimTime::from_ms(3))).unwrap();
+        let base = d.try_submit(&read(503, SimTime::from_ms(5))).unwrap();
+        assert!(
+            slow.latency.as_us_f64() > base.latency.as_us_f64() * 3.0,
+            "spike {} vs base {}",
+            slow.latency,
+            base.latency
+        );
     }
 
     #[test]

@@ -7,9 +7,11 @@
 //! together with chip-queueing collisions, produces the non-linear
 //! latency-vs-randomness curve of Fig. 5 (b).
 
-use crate::io::{DeviceKind, IoCompletion, IoOp, IoRequest};
+use crate::fault_gate::FaultGate;
+use crate::io::{DeviceKind, IoCompletion, IoError, IoOp, IoRequest};
 use crate::stats::DeviceStats;
 use crate::StorageDevice;
+use nvhsm_fault::DeviceFaultHook;
 use nvhsm_flash::{FlashConfig, FlashDevice};
 use nvhsm_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -79,6 +81,7 @@ pub struct SsdDevice {
     windows: HashMap<u32, Vec<(u64, u64)>>,
     stats: DeviceStats,
     readahead_hits: u64,
+    fault: FaultGate,
 }
 
 /// Maximum concurrent read-ahead windows tracked per stream.
@@ -98,6 +101,7 @@ impl SsdDevice {
             windows: HashMap::new(),
             stats: DeviceStats::new(),
             readahead_hits: 0,
+            fault: FaultGate::default(),
         }
     }
 
@@ -178,6 +182,23 @@ impl StorageDevice for SsdDevice {
         let completion = IoCompletion::finished(req.arrival, done);
         self.stats.record(req, completion.latency);
         completion
+    }
+
+    fn try_submit(&mut self, req: &IoRequest) -> Result<IoCompletion, IoError> {
+        // Failing windows reject before serve_* runs: read-ahead windows,
+        // the FTL and the write buffer stay untouched.
+        let disposition = self.fault.decide(req.arrival)?;
+        let done = match req.op {
+            IoOp::Read => self.serve_read(req),
+            IoOp::Write => self.serve_write(req),
+        };
+        let completion = disposition.complete(req.arrival, done);
+        self.stats.record(req, completion.latency);
+        Ok(completion)
+    }
+
+    fn install_fault_hook(&mut self, hook: Option<DeviceFaultHook>) {
+        self.fault.install(hook);
     }
 
     fn logical_blocks(&self) -> u64 {
@@ -304,5 +325,41 @@ mod tests {
         let mut d = dev();
         let c = d.submit(&IoRequest::normal(0, 0, 1, IoOp::Write, SimTime::ZERO));
         assert!(c.latency.as_us_f64() < 30.0, "{}", c.latency);
+    }
+
+    #[test]
+    fn transient_window_fails_then_stall_defers() {
+        use nvhsm_fault::{DeviceFaultHook, DeviceFaultSchedule, FaultKind, FaultWindow};
+
+        let mut d = dev();
+        let schedule = DeviceFaultSchedule::from_windows(vec![
+            FaultWindow {
+                from: SimTime::ZERO,
+                until: SimTime::from_ms(1),
+                kind: FaultKind::Transient { fail_prob: 1.0 },
+            },
+            FaultWindow {
+                from: SimTime::from_ms(2),
+                until: SimTime::from_ms(3),
+                kind: FaultKind::Stall,
+            },
+        ]);
+        d.install_fault_hook(Some(DeviceFaultHook::new(schedule, SimRng::new(4))));
+
+        let err = d
+            .try_submit(&IoRequest::normal(0, 0, 1, IoOp::Write, SimTime::ZERO))
+            .unwrap_err();
+        assert!(err.is_retryable());
+        // A stalled write completes no earlier than the window end.
+        let c = d
+            .try_submit(&IoRequest::normal(
+                0,
+                0,
+                1,
+                IoOp::Write,
+                SimTime::from_ms(2),
+            ))
+            .unwrap();
+        assert_eq!(c.done, SimTime::from_ms(3));
     }
 }

@@ -62,10 +62,10 @@ pub fn run(_scale: Scale) -> ExperimentResult {
                 .collect(),
         ));
     }
-    let rc_base = result.value("a_baseline", 2).unwrap();
-    let rc_p1 = result.value("b_policy_one", 2).unwrap();
-    let rg_base = result.value("a_baseline", 6).unwrap();
-    let rg_p1 = result.value("b_policy_one", 6).unwrap();
+    let rc_base = result.value_or("a_baseline", 2, 0.0);
+    let rc_p1 = result.value_or("b_policy_one", 2, 0.0);
+    let rg_base = result.value_or("a_baseline", 6, 0.0);
+    let rg_p1 = result.value_or("b_policy_one", 6, 0.0);
     result.note(format!(
         "Policy One frees the migrated writes from barriers: RC runs concurrently with RA \
          (t={rc_p1:.0} vs baseline {rc_base:.0}) and RG moves from t={rg_base:.0} to \

@@ -103,6 +103,13 @@ impl ExperimentResult {
             .copied()
     }
 
+    /// Like [`ExperimentResult::value`], but falls back to `default` when
+    /// the row or column is absent — for summary notes that should degrade
+    /// to a placeholder rather than panic if a sweep produced no row.
+    pub fn value_or(&self, label: &str, column: usize, default: f64) -> f64 {
+        self.value(label, column).unwrap_or(default)
+    }
+
     /// Renders the result as CSV (label column + value columns), for
     /// plotting tools.
     pub fn to_csv(&self) -> String {

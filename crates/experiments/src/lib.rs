@@ -25,8 +25,10 @@
 //! | `fig17`  | Fig. 17 — everything combined |
 //! | `placement` | §5.1.1 ablation — Eq. 4 initial placement vs random |
 //! | `characterization` | Table 5 — realized workload characteristics |
+//! | `faults`  | robustness sweep — availability & migration recovery under injected faults |
 
 pub mod characterization;
+pub mod faults;
 pub mod fig10;
 pub mod fig12;
 pub mod fig13;
@@ -49,7 +51,7 @@ pub mod tau;
 pub use harness::{ExperimentResult, Row, Scale};
 
 /// All experiment ids, in paper order.
-pub const ALL_EXPERIMENTS: [&str; 17] = [
+pub const ALL_EXPERIMENTS: [&str; 18] = [
     "table1",
     "table2",
     "fig4",
@@ -67,6 +69,7 @@ pub const ALL_EXPERIMENTS: [&str; 17] = [
     "placement",
     "characterization",
     "fig9",
+    "faults",
 ];
 
 /// Runs one experiment by id.
@@ -93,6 +96,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Result<ExperimentResult, String
         "fig17" => Ok(fig17::run(scale)),
         "placement" => Ok(placement::run(scale)),
         "characterization" => Ok(characterization::run(scale)),
+        "faults" => Ok(faults::run(scale)),
         other => Err(format!(
             "unknown experiment '{other}'; known: {}",
             ALL_EXPERIMENTS.join(", ")

@@ -123,19 +123,26 @@ fn main() -> ExitCode {
     for id in ids {
         match run_experiment(id, scale) {
             Ok(result) => {
-                if let Some(dir) = &cli.json_dir {
+                let json_body = if cli.json {
+                    match serde_json::to_string_pretty(&result) {
+                        Ok(body) => Some(body),
+                        Err(e) => {
+                            eprintln!("error: cannot serialize {id} result: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else {
+                    None
+                };
+                if let (Some(dir), Some(body)) = (&cli.json_dir, &json_body) {
                     let path = dir.join(format!("{id}.json"));
-                    let body = serde_json::to_string_pretty(&result).expect("serializable result");
                     if let Err(e) = std::fs::write(&path, body) {
                         eprintln!("error: cannot write {}: {e}", path.display());
                         return ExitCode::FAILURE;
                     }
                     eprintln!("wrote {}", path.display());
-                } else if cli.json {
-                    println!(
-                        "{}",
-                        serde_json::to_string_pretty(&result).expect("serializable result")
-                    );
+                } else if let Some(body) = json_body {
+                    println!("{body}");
                 } else if cli.csv {
                     println!("{}", result.to_csv());
                 } else {

@@ -16,6 +16,7 @@
 
 use crate::harness::Scale;
 use nvhsm_core::{NodeConfig, NodeReport, NodeSim, PolicyKind};
+use nvhsm_fault::{FaultIntensity, FaultPlan};
 use nvhsm_sim::SimDuration;
 use nvhsm_workload::hibench::all_profiles;
 use nvhsm_workload::{SpecProgram, WorkloadProfile};
@@ -38,6 +39,11 @@ pub struct MixParams {
     /// experiments). When false, the full set runs from the start and the
     /// warm-up is excluded, isolating contention-driven churn.
     pub arrivals: bool,
+    /// Injected fault intensity. `Some(_)` generates a deterministic
+    /// [`FaultPlan`] (seeded from `seed`) covering the whole run; `None`
+    /// runs fault-free and byte-identical to builds without the fault
+    /// subsystem.
+    pub fault_intensity: Option<FaultIntensity>,
 }
 
 impl MixParams {
@@ -51,6 +57,7 @@ impl MixParams {
             tau: 0.5,
             seed: 42,
             arrivals: false,
+            fault_intensity: None,
         }
     }
 
@@ -104,6 +111,17 @@ pub fn run_mix(params: MixParams, scale: Scale) -> NodeReport {
     cfg.tau = params.tau;
     cfg.spec = params.spec;
     cfg.train_requests = scale.train_requests();
+    if let Some(intensity) = params.fault_intensity {
+        // The plan must span warm-up *and* the measured window: schedules
+        // are in absolute simulation time.
+        let plan_horizon = SimDuration::from_secs(12 * scale.horizon_secs());
+        cfg.faults = Some(FaultPlan::generate(
+            params.seed,
+            params.nodes * 3,
+            plan_horizon,
+            intensity,
+        ));
+    }
     let mut sim = NodeSim::with_nodes(cfg, params.nodes, params.seed);
 
     let drain_limit = SimDuration::from_secs(6 * scale.horizon_secs());

@@ -64,15 +64,15 @@ pub fn run(scale: Scale) -> ExperimentResult {
             vec![lat / seeds.len() as f64, mig / seeds.len() as f64],
         ));
     }
-    let rand_lat = result.value("random_unmanaged", 0).unwrap();
-    let eq4_lat = result.value("eq4_unmanaged", 0).unwrap();
+    let rand_lat = result.value_or("random_unmanaged", 0, 1.0);
+    let eq4_lat = result.value_or("eq4_unmanaged", 0, 1.0);
     result.note(format!(
         "without any management, Eq. 4 placement alone improves mean latency by {:.0}% \
          (paper: planned placement exploits device advantages)",
         (1.0 - eq4_lat / rand_lat) * 100.0
     ));
-    let rand_mig = result.value("random_managed", 1).unwrap();
-    let eq4_mig = result.value("eq4_managed", 1).unwrap();
+    let rand_mig = result.value_or("random_managed", 1, 0.0);
+    let eq4_mig = result.value_or("eq4_managed", 1, 0.0);
     result.note(format!(
         "with management on, Eq. 4 starts cut subsequent migration work from {rand_mig:.2}s \
          to {eq4_mig:.2}s (paper: planned placement eliminates unnecessary migration)"

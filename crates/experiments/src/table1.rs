@@ -60,9 +60,9 @@ pub fn run(scale: Scale) -> ExperimentResult {
     let (r, w) = probe(&mut hdd, n, 3);
     result.push_row(Row::new("SATA_HDD", vec![r, w, 1024.0]));
 
-    let nv_r = result.value("NVDIMM", 0).unwrap();
-    let ssd_r = result.value("PCIe_SSD", 0).unwrap();
-    let hdd_r = result.value("SATA_HDD", 0).unwrap();
+    let nv_r = result.value_or("NVDIMM", 0, 1.0);
+    let ssd_r = result.value_or("PCIe_SSD", 0, 0.0);
+    let hdd_r = result.value_or("SATA_HDD", 0, 0.0);
     result.note(format!(
         "read latency ratios NVDIMM:SSD:HDD = 1:{:.1}:{:.0} (paper Table 1: ~150µs : ~400µs : ~5ms = 1:2.7:33)",
         ssd_r / nv_r,

@@ -3,7 +3,7 @@
 //! one worker or many.
 
 use nvhsm_device::{IoOp, IoRequest, SsdConfig, SsdDevice, StorageDevice};
-use nvhsm_experiments::{fig12, Scale};
+use nvhsm_experiments::{faults, fig12, Scale};
 use nvhsm_sim::{parallel, SimDuration, SimRng, SimTime};
 use std::sync::Mutex;
 
@@ -21,6 +21,27 @@ fn fig12_output_is_byte_identical_across_job_counts() {
     parallel::set_jobs(None);
 
     // Rendered table, CSV, and serialized form: all byte-identical.
+    assert_eq!(serial.render(), parallel_run.render());
+    assert_eq!(serial.to_csv(), parallel_run.to_csv());
+    assert_eq!(
+        serde_json::to_string(&serial).expect("serializable"),
+        serde_json::to_string(&parallel_run).expect("serializable"),
+    );
+}
+
+#[test]
+fn fault_injection_is_byte_identical_across_job_counts() {
+    // Fault schedules and retry/abort decisions must derive only from the
+    // plan seed, never from worker scheduling: the whole point of the
+    // deterministic fault subsystem is that a failure seen at --jobs 4
+    // reproduces exactly at --jobs 1.
+    let _guard = JOBS_LOCK.lock().unwrap();
+    parallel::set_jobs(Some(1));
+    let serial = faults::run(Scale::Quick);
+    parallel::set_jobs(Some(4));
+    let parallel_run = faults::run(Scale::Quick);
+    parallel::set_jobs(None);
+
     assert_eq!(serial.render(), parallel_run.render());
     assert_eq!(serial.to_csv(), parallel_run.to_csv());
     assert_eq!(

@@ -1,0 +1,562 @@
+//! Seeded, deterministic fault injection for the storage hierarchy.
+//!
+//! The paper's lazy-migration design (§5.2) exists because migrations run
+//! concurrently with live traffic; this crate makes the *failure* side of
+//! that concurrency a first-class, replayable simulation input. A
+//! [`FaultPlan`] holds one [`DeviceFaultSchedule`] per datastore: a sorted
+//! sequence of non-overlapping [`FaultWindow`]s during which the device
+//! misbehaves in one of four ways:
+//!
+//! * **transient errors** — each request inside the window fails with a
+//!   fixed probability and must be retried by the host,
+//! * **latency spikes** — completions stretch by a multiplicative factor
+//!   (a congested link, a GC storm, thermal throttling),
+//! * **stalls** — nothing completes before the window closes (a firmware
+//!   hiccup, an internal flush),
+//! * **offline** — the device is unreachable; every request fails until the
+//!   window ends (cable pull, controller reset, a dying disk).
+//!
+//! Plans are generated from a seed through the same SplitMix64 streams as
+//! everything else in `nvhsm-sim` ([`FaultPlan::generate`]), with one
+//! pre-forked stream per device, so a plan replays byte-identically no
+//! matter how many scenario-parallel workers (`--jobs`) are running or how
+//! many devices exist — adding a device never perturbs the windows drawn
+//! for the others.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvhsm_fault::{FaultIntensity, FaultPlan};
+//! use nvhsm_sim::SimDuration;
+//!
+//! let horizon = SimDuration::from_secs(4);
+//! let a = FaultPlan::generate(7, 3, horizon, FaultIntensity::Moderate);
+//! let b = FaultPlan::generate(7, 3, horizon, FaultIntensity::Moderate);
+//! assert_eq!(a, b); // same seed, same plan — always
+//! assert!(a.device(0).windows().len() > 0);
+//! assert!(FaultPlan::generate(7, 3, horizon, FaultIntensity::None)
+//!     .device(0)
+//!     .windows()
+//!     .is_empty());
+//! ```
+
+use nvhsm_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// What a device does to requests inside one fault window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Each request fails with probability `fail_prob` and must be retried.
+    Transient {
+        /// Per-request failure probability in `[0, 1]`.
+        fail_prob: f64,
+    },
+    /// Completions stretch: latency is multiplied by `factor` (≥ 1).
+    LatencySpike {
+        /// Multiplicative latency factor.
+        factor: f64,
+    },
+    /// Nothing completes before the window closes.
+    Stall,
+    /// The device is unreachable; every request fails.
+    Offline,
+}
+
+/// One contiguous misbehavior window `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// What happens inside.
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    /// Whether `at` falls inside the window.
+    pub fn contains(&self, at: SimTime) -> bool {
+        self.from <= at && at < self.until
+    }
+}
+
+/// The fault schedule of one device: sorted, non-overlapping windows.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceFaultSchedule {
+    windows: Vec<FaultWindow>,
+}
+
+impl DeviceFaultSchedule {
+    /// An always-healthy schedule.
+    pub fn healthy() -> Self {
+        Self::default()
+    }
+
+    /// Builds a schedule from windows, sorting them by start time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any two windows overlap after sorting.
+    pub fn from_windows(mut windows: Vec<FaultWindow>) -> Self {
+        windows.sort_by_key(|w| w.from);
+        for pair in windows.windows(2) {
+            assert!(
+                pair[0].until <= pair[1].from,
+                "fault windows overlap: {:?} and {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+        DeviceFaultSchedule { windows }
+    }
+
+    /// The windows, sorted by start time.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// The window active at `at`, if any (binary search).
+    pub fn active(&self, at: SimTime) -> Option<&FaultWindow> {
+        let i = self.windows.partition_point(|w| w.until <= at);
+        self.windows.get(i).filter(|w| w.contains(at))
+    }
+
+    /// Whether the device is hard-offline at `at`.
+    pub fn offline_at(&self, at: SimTime) -> bool {
+        matches!(
+            self.active(at),
+            Some(FaultWindow {
+                kind: FaultKind::Offline,
+                ..
+            })
+        )
+    }
+
+    /// Whether any offline window overlaps `[from, until)` — the signal a
+    /// manager uses to call a device *flapping* even when it is currently
+    /// reachable.
+    pub fn offline_in(&self, from: SimTime, until: SimTime) -> bool {
+        let i = self.windows.partition_point(|w| w.until <= from);
+        self.windows[i..]
+            .iter()
+            .take_while(|w| w.from < until)
+            .any(|w| matches!(w.kind, FaultKind::Offline))
+    }
+
+    /// End of the offline window active at `at`, if the device is offline.
+    pub fn offline_until(&self, at: SimTime) -> Option<SimTime> {
+        self.active(at).and_then(|w| match w.kind {
+            FaultKind::Offline => Some(w.until),
+            _ => None,
+        })
+    }
+}
+
+/// How a device treats one request, as decided by its [`DeviceFaultHook`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultOutcome {
+    /// Serve normally.
+    Healthy,
+    /// Serve, then stretch the completion latency by `factor`.
+    Slowed {
+        /// Multiplicative latency factor (≥ 1).
+        factor: f64,
+    },
+    /// Serve, but complete no earlier than `until` (stall window end).
+    StalledUntil {
+        /// Earliest allowed completion instant.
+        until: SimTime,
+    },
+    /// Fail with a retryable error.
+    TransientError,
+    /// Fail: the device is unreachable.
+    Offline,
+}
+
+/// Per-device fault state a device model consults on every submission:
+/// the schedule plus a private RNG stream for the probabilistic transient
+/// windows.
+///
+/// The RNG is only advanced for requests that arrive *inside* a transient
+/// window, so fault-free runs consume no randomness and two runs with the
+/// same request sequence classify identically.
+#[derive(Debug, Clone)]
+pub struct DeviceFaultHook {
+    schedule: DeviceFaultSchedule,
+    rng: SimRng,
+}
+
+impl DeviceFaultHook {
+    /// Builds a hook from a schedule and a dedicated RNG stream.
+    pub fn new(schedule: DeviceFaultSchedule, rng: SimRng) -> Self {
+        DeviceFaultHook { schedule, rng }
+    }
+
+    /// The schedule.
+    pub fn schedule(&self) -> &DeviceFaultSchedule {
+        &self.schedule
+    }
+
+    /// Classifies a request arriving at `at`.
+    pub fn outcome(&mut self, at: SimTime) -> FaultOutcome {
+        let Some(window) = self.schedule.active(at) else {
+            return FaultOutcome::Healthy;
+        };
+        match window.kind {
+            FaultKind::Transient { fail_prob } => {
+                if self.rng.chance(fail_prob) {
+                    FaultOutcome::TransientError
+                } else {
+                    FaultOutcome::Healthy
+                }
+            }
+            FaultKind::LatencySpike { factor } => FaultOutcome::Slowed {
+                factor: factor.max(1.0),
+            },
+            FaultKind::Stall => FaultOutcome::StalledUntil {
+                until: window.until,
+            },
+            FaultKind::Offline => FaultOutcome::Offline,
+        }
+    }
+}
+
+/// Preset fault intensities for [`FaultPlan::generate`] — the axis the
+/// `faults` experiment sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultIntensity {
+    /// No faults at all (the control arm).
+    None,
+    /// Rare transient errors and mild spikes; no offline events.
+    Light,
+    /// Regular transients, spikes and stalls, occasional short offlines.
+    Moderate,
+    /// Frequent everything, including long offline windows.
+    Severe,
+}
+
+impl FaultIntensity {
+    /// All presets, weakest first.
+    pub const ALL: [FaultIntensity; 4] = [
+        FaultIntensity::None,
+        FaultIntensity::Light,
+        FaultIntensity::Moderate,
+        FaultIntensity::Severe,
+    ];
+
+    /// Mean gap between fault windows, per kind: (transient, spike, stall,
+    /// offline). `None` entries disable the kind.
+    fn mean_gaps(self) -> [Option<SimDuration>; 4] {
+        let ms = SimDuration::from_ms;
+        match self {
+            FaultIntensity::None => [None, None, None, None],
+            FaultIntensity::Light => [Some(ms(900)), Some(ms(1500)), None, None],
+            FaultIntensity::Moderate => {
+                [Some(ms(400)), Some(ms(700)), Some(ms(1600)), Some(ms(2500))]
+            }
+            FaultIntensity::Severe => [Some(ms(150)), Some(ms(300)), Some(ms(700)), Some(ms(900))],
+        }
+    }
+
+    /// Window length range per kind, in milliseconds.
+    fn window_ms(self, kind: usize) -> (f64, f64) {
+        match (self, kind) {
+            (FaultIntensity::Severe, 3) => (120.0, 500.0), // long offlines
+            (_, 3) => (60.0, 220.0),
+            (_, 2) => (20.0, 80.0),   // stalls
+            (_, 1) => (100.0, 400.0), // spikes
+            _ => (40.0, 200.0),       // transient windows
+        }
+    }
+}
+
+impl std::fmt::Display for FaultIntensity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultIntensity::None => write!(f, "none"),
+            FaultIntensity::Light => write!(f, "light"),
+            FaultIntensity::Moderate => write!(f, "moderate"),
+            FaultIntensity::Severe => write!(f, "severe"),
+        }
+    }
+}
+
+/// A complete fault plan: one schedule per datastore index.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    devices: Vec<DeviceFaultSchedule>,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan with no faults on `devices` devices.
+    pub fn healthy(devices: usize) -> Self {
+        FaultPlan {
+            devices: vec![DeviceFaultSchedule::healthy(); devices],
+            seed: 0,
+        }
+    }
+
+    /// Builds a plan from explicit per-device schedules.
+    pub fn from_schedules(devices: Vec<DeviceFaultSchedule>, seed: u64) -> Self {
+        FaultPlan { devices, seed }
+    }
+
+    /// Generates a plan over `[0, horizon)` for `devices` devices at the
+    /// given intensity. Each device draws from its own pre-forked RNG
+    /// stream, so the plan for device *i* is independent of how many other
+    /// devices exist.
+    pub fn generate(
+        seed: u64,
+        devices: usize,
+        horizon: SimDuration,
+        intensity: FaultIntensity,
+    ) -> Self {
+        let mut master = SimRng::new(seed ^ 0xFA01_7D15_EA5E_0001);
+        let schedules = (0..devices)
+            .map(|_| {
+                let mut rng = master.fork();
+                Self::generate_device(&mut rng, horizon, intensity)
+            })
+            .collect();
+        FaultPlan {
+            devices: schedules,
+            seed,
+        }
+    }
+
+    fn generate_device(
+        rng: &mut SimRng,
+        horizon: SimDuration,
+        intensity: FaultIntensity,
+    ) -> DeviceFaultSchedule {
+        let gaps = intensity.mean_gaps();
+        // Draw candidate windows per kind from independent forks, then
+        // merge, dropping overlaps (earlier-start wins; ties by kind index).
+        let mut candidates: Vec<FaultWindow> = Vec::new();
+        for (kind_idx, gap) in gaps.iter().enumerate() {
+            let Some(gap) = gap else { continue };
+            let mut krng = rng.fork();
+            let mut at =
+                SimTime::ZERO + SimDuration::from_us_f64(krng.exponential(1.0) * 50.0 * 1_000.0);
+            while at < SimTime::ZERO + horizon {
+                let (lo, hi) = intensity.window_ms(kind_idx);
+                let len = SimDuration::from_us_f64(krng.uniform_range(lo, hi) * 1_000.0);
+                let kind = match kind_idx {
+                    0 => FaultKind::Transient {
+                        fail_prob: krng.uniform_range(0.3, 0.9),
+                    },
+                    1 => FaultKind::LatencySpike {
+                        factor: krng.uniform_range(2.0, 8.0),
+                    },
+                    2 => FaultKind::Stall,
+                    _ => FaultKind::Offline,
+                };
+                candidates.push(FaultWindow {
+                    from: at,
+                    until: at + len,
+                    kind,
+                });
+                let gap_ms = krng.exponential(gap.as_ms_f64());
+                at = at + len + SimDuration::from_us_f64(gap_ms * 1_000.0);
+            }
+        }
+        candidates.sort_by_key(|w| w.from);
+        let mut windows: Vec<FaultWindow> = Vec::with_capacity(candidates.len());
+        for w in candidates {
+            match windows.last() {
+                Some(prev) if w.from < prev.until => {} // overlap: drop
+                _ => windows.push(w),
+            }
+        }
+        DeviceFaultSchedule { windows }
+    }
+
+    /// The seed the plan was generated from (0 for hand-built plans).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of device schedules.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the plan covers no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The schedule for device `index`; devices beyond the plan are healthy.
+    pub fn device(&self, index: usize) -> &DeviceFaultSchedule {
+        static HEALTHY: DeviceFaultSchedule = DeviceFaultSchedule {
+            windows: Vec::new(),
+        };
+        self.devices.get(index).unwrap_or(&HEALTHY)
+    }
+
+    /// Builds the per-device hook for `index`, with an RNG stream derived
+    /// from the plan seed and the device index only — never from shared
+    /// simulation state, so installing hooks does not perturb other RNG
+    /// consumers.
+    pub fn hook_for(&self, index: usize) -> DeviceFaultHook {
+        let rng = SimRng::new(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(index as u64 ^ 0xFA01_7B00_57A7_E5EE),
+        );
+        DeviceFaultHook::new(self.device(index).clone(), rng)
+    }
+
+    /// Total offline time scheduled for device `index` over the plan.
+    pub fn offline_time(&self, index: usize) -> SimDuration {
+        self.device(index)
+            .windows()
+            .iter()
+            .filter(|w| matches!(w.kind, FaultKind::Offline))
+            .fold(SimDuration::ZERO, |acc, w| {
+                acc + w.until.saturating_since(w.from)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(from_ms: u64, until_ms: u64, kind: FaultKind) -> FaultWindow {
+        FaultWindow {
+            from: SimTime::from_ms(from_ms),
+            until: SimTime::from_ms(until_ms),
+            kind,
+        }
+    }
+
+    #[test]
+    fn schedule_lookup_is_window_accurate() {
+        let s = DeviceFaultSchedule::from_windows(vec![
+            window(10, 20, FaultKind::Offline),
+            window(30, 40, FaultKind::Stall),
+        ]);
+        assert!(s.active(SimTime::from_ms(5)).is_none());
+        assert!(s.offline_at(SimTime::from_ms(10)));
+        assert!(s.offline_at(SimTime::from_ms(19)));
+        assert!(!s.offline_at(SimTime::from_ms(20)), "until is exclusive");
+        assert!(matches!(
+            s.active(SimTime::from_ms(35)).unwrap().kind,
+            FaultKind::Stall
+        ));
+        assert_eq!(
+            s.offline_until(SimTime::from_ms(15)),
+            Some(SimTime::from_ms(20))
+        );
+        assert!(s.offline_in(SimTime::from_ms(0), SimTime::from_ms(11)));
+        assert!(!s.offline_in(SimTime::from_ms(20), SimTime::from_ms(30)));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_windows_rejected() {
+        let _ = DeviceFaultSchedule::from_windows(vec![
+            window(10, 30, FaultKind::Stall),
+            window(20, 40, FaultKind::Offline),
+        ]);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let h = SimDuration::from_secs(4);
+        let a = FaultPlan::generate(11, 6, h, FaultIntensity::Severe);
+        let b = FaultPlan::generate(11, 6, h, FaultIntensity::Severe);
+        let c = FaultPlan::generate(12, 6, h, FaultIntensity::Severe);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn device_streams_are_independent_of_device_count() {
+        let h = SimDuration::from_secs(2);
+        let small = FaultPlan::generate(5, 2, h, FaultIntensity::Moderate);
+        let large = FaultPlan::generate(5, 8, h, FaultIntensity::Moderate);
+        assert_eq!(small.device(0), large.device(0));
+        assert_eq!(small.device(1), large.device(1));
+    }
+
+    #[test]
+    fn windows_are_sorted_and_disjoint() {
+        let plan = FaultPlan::generate(3, 4, SimDuration::from_secs(8), FaultIntensity::Severe);
+        for d in 0..4 {
+            let ws = plan.device(d).windows();
+            assert!(!ws.is_empty(), "severe plan should fault device {d}");
+            for pair in ws.windows(2) {
+                assert!(pair[0].until <= pair[1].from, "{pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn intensity_ladder_is_monotone_in_fault_count() {
+        let h = SimDuration::from_secs(8);
+        let counts: Vec<usize> = FaultIntensity::ALL
+            .iter()
+            .map(|&i| {
+                let plan = FaultPlan::generate(9, 3, h, i);
+                (0..3).map(|d| plan.device(d).windows().len()).sum()
+            })
+            .collect();
+        assert_eq!(counts[0], 0, "None must schedule nothing");
+        assert!(
+            counts.windows(2).all(|w| w[0] <= w[1]),
+            "fault counts not monotone: {counts:?}"
+        );
+        assert!(counts[3] > counts[1], "{counts:?}");
+    }
+
+    #[test]
+    fn hook_classifies_by_window() {
+        let s = DeviceFaultSchedule::from_windows(vec![
+            window(0, 10, FaultKind::Offline),
+            window(20, 30, FaultKind::LatencySpike { factor: 4.0 }),
+            window(40, 50, FaultKind::Stall),
+            window(60, 70, FaultKind::Transient { fail_prob: 1.0 }),
+        ]);
+        let mut hook = DeviceFaultHook::new(s, SimRng::new(1));
+        assert_eq!(hook.outcome(SimTime::from_ms(5)), FaultOutcome::Offline);
+        assert_eq!(hook.outcome(SimTime::from_ms(15)), FaultOutcome::Healthy);
+        assert_eq!(
+            hook.outcome(SimTime::from_ms(25)),
+            FaultOutcome::Slowed { factor: 4.0 }
+        );
+        assert_eq!(
+            hook.outcome(SimTime::from_ms(45)),
+            FaultOutcome::StalledUntil {
+                until: SimTime::from_ms(50)
+            }
+        );
+        assert_eq!(
+            hook.outcome(SimTime::from_ms(65)),
+            FaultOutcome::TransientError
+        );
+    }
+
+    #[test]
+    fn transient_probability_splits_outcomes() {
+        let s = DeviceFaultSchedule::from_windows(vec![window(
+            0,
+            1_000,
+            FaultKind::Transient { fail_prob: 0.5 },
+        )]);
+        let mut hook = DeviceFaultHook::new(s, SimRng::new(77));
+        let fails = (0..1000)
+            .filter(|&i| hook.outcome(SimTime::from_us(i)) == FaultOutcome::TransientError)
+            .count();
+        assert!((350..650).contains(&fails), "fails = {fails}");
+    }
+
+    #[test]
+    fn plan_indexing_beyond_len_is_healthy() {
+        let plan = FaultPlan::generate(1, 1, SimDuration::from_secs(1), FaultIntensity::Severe);
+        assert!(plan.device(99).windows().is_empty());
+        assert_eq!(plan.offline_time(99), SimDuration::ZERO);
+    }
+}

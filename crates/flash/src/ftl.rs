@@ -13,9 +13,34 @@
 
 use crate::config::FlashConfig;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Logical page number.
 pub type Lpn = u64;
+
+/// FTL construction / write errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtlError {
+    /// The configuration failed [`FlashConfig::validate`].
+    InvalidConfig(String),
+    /// The geometry's physical page count exceeds `u32` addressing.
+    GeometryTooLarge,
+    /// The device genuinely ran out of physical space (cannot happen while
+    /// over-provisioning holds).
+    OutOfSpace,
+}
+
+impl fmt::Display for FtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtlError::InvalidConfig(why) => write!(f, "invalid flash config: {why}"),
+            FtlError::GeometryTooLarge => write!(f, "geometry too large for u32 ppn"),
+            FtlError::OutOfSpace => write!(f, "device out of physical space"),
+        }
+    }
+}
+
+impl std::error::Error for FtlError {}
 
 const INVALID: u32 = u32::MAX;
 
@@ -103,17 +128,31 @@ impl PageFtl {
     /// # Panics
     ///
     /// Panics if the configuration fails [`FlashConfig::validate`] or its
-    /// physical page count exceeds `u32` addressing.
+    /// physical page count exceeds `u32` addressing; use [`PageFtl::try_new`]
+    /// to handle those as errors.
     pub fn new(cfg: &FlashConfig) -> Self {
-        cfg.validate().expect("invalid flash config");
+        match Self::try_new(cfg) {
+            Ok(ftl) => ftl,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds an empty FTL, rejecting invalid configurations.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::InvalidConfig`] if the configuration fails
+    /// [`FlashConfig::validate`]; [`FtlError::GeometryTooLarge`] if the
+    /// physical page count exceeds `u32` addressing.
+    pub fn try_new(cfg: &FlashConfig) -> Result<Self, FtlError> {
+        cfg.validate().map_err(FtlError::InvalidConfig)?;
         let phys_pages = cfg.total_physical_pages();
-        assert!(
-            phys_pages < INVALID as u64,
-            "geometry too large for u32 ppn"
-        );
+        if phys_pages >= INVALID as u64 {
+            return Err(FtlError::GeometryTooLarge);
+        }
         let chips = cfg.channels * cfg.chips_per_channel;
         let total_blocks = chips as u32 * cfg.blocks_per_chip;
-        PageFtl {
+        Ok(PageFtl {
             cfg: cfg.clone(),
             map: vec![INVALID; cfg.logical_pages() as usize],
             rmap: vec![INVALID; phys_pages as usize],
@@ -128,7 +167,7 @@ impl PageFtl {
             gc_runs: 0,
             gc_moved: 0,
             erase_counts: vec![0; total_blocks as usize],
-        }
+        })
     }
 
     fn chips(&self) -> usize {
@@ -228,13 +267,15 @@ impl PageFtl {
     /// Allocates the next physical page on `chip`, opening a fresh block if
     /// needed. Returns `None` if the chip has no free block to open.
     fn allocate_on(&mut self, chip: usize) -> Option<Ppn> {
-        if self.open[chip].is_none() {
-            let block = self.free_blocks[chip].pop()?;
-            let bi = self.block_index(chip as u32, block);
-            self.block_state[bi] = BlockState::Open;
-            self.open[chip] = Some((block, 0));
-        }
-        let (block, page) = self.open[chip].expect("just ensured");
+        let (block, page) = match self.open[chip] {
+            Some(open) => open,
+            None => {
+                let block = self.free_blocks[chip].pop()?;
+                let bi = self.block_index(chip as u32, block);
+                self.block_state[bi] = BlockState::Open;
+                (block, 0)
+            }
+        };
         let ppn = Ppn {
             chip: chip as u32,
             block,
@@ -277,9 +318,13 @@ impl PageFtl {
                     continue;
                 }
                 self.invalidate(packed);
-                let dest = self
-                    .allocate_on(chip)
-                    .expect("GC victim guarantees at least one free block's worth of space");
+                // Invariant: a victim is only picked when reclaiming it
+                // gains space (valid < pages_per_block), so the open block
+                // plus the watermark-held free blocks always have room for
+                // every valid page being relocated.
+                let Some(dest) = self.allocate_on(chip) else {
+                    unreachable!("GC invariant violated: no room to relocate a valid page")
+                };
                 self.bind(lpn as Lpn, dest);
                 work.moved_pages += 1;
                 self.gc_moved += 1;
@@ -320,8 +365,28 @@ impl PageFtl {
     /// # Panics
     ///
     /// Panics if `lpn` is out of range or the device is truly out of space
-    /// (cannot happen while over-provisioning holds).
+    /// (cannot happen while over-provisioning holds); use
+    /// [`PageFtl::try_write`] to handle the latter as an error.
     pub fn write(&mut self, lpn: Lpn) -> WriteOutcome {
+        match self.try_write(lpn) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Writes `lpn` like [`PageFtl::write`], but surfaces exhaustion as an
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::OutOfSpace`] if no physical page can be allocated even
+    /// after GC — possible only when over-provisioning is misconfigured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lpn` is out of the logical range (an addressing bug at
+    /// the caller, not a device state).
+    pub fn try_write(&mut self, lpn: Lpn) -> Result<WriteOutcome, FtlError> {
         assert!((lpn as usize) < self.map.len(), "lpn out of range");
         let chip = self.next_chip;
         self.next_chip = (self.next_chip + 1) % self.chips();
@@ -331,17 +396,18 @@ impl PageFtl {
             gc = self.collect(chip);
         }
 
+        // Allocate before touching the old mapping so a failed write leaves
+        // the FTL state untouched (GC work, if any, already happened and is
+        // harmless).
+        let ppn = self.allocate_on(chip).ok_or(FtlError::OutOfSpace)?;
         let old = self.map[lpn as usize];
         if old != INVALID {
             self.invalidate(old);
         } else {
             self.live_pages += 1;
         }
-        let ppn = self
-            .allocate_on(chip)
-            .expect("over-provisioned device ran out of space");
         self.bind(lpn, ppn);
-        WriteOutcome { ppn, gc }
+        Ok(WriteOutcome { ppn, gc })
     }
 
     /// Drops the mapping for `lpn` (e.g. the block was migrated away).
@@ -407,6 +473,34 @@ mod tests {
 
     fn ftl() -> PageFtl {
         PageFtl::new(&FlashConfig::small_test())
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_config() {
+        let mut c = FlashConfig::small_test();
+        c.channels = 0;
+        assert!(matches!(
+            PageFtl::try_new(&c),
+            Err(FtlError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn try_write_reports_out_of_space_without_corrupting_state() {
+        // With zero over-provisioning the logical space covers every
+        // physical page, so once every lpn is written GC has no slack left
+        // and the next overwrite must fail cleanly.
+        let mut c = FlashConfig::small_test();
+        c.over_provisioning = 0.0;
+        let mut f = PageFtl::try_new(&c).unwrap();
+        for lpn in 0..f.logical_pages() {
+            f.try_write(lpn).unwrap();
+        }
+        let before = f.lookup(0);
+        assert!(matches!(f.try_write(0), Err(FtlError::OutOfSpace)));
+        // A failed write must leave the old mapping intact.
+        assert_eq!(f.lookup(0), before);
+        f.check_invariants().unwrap();
     }
 
     #[test]

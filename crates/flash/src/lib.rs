@@ -38,6 +38,6 @@ pub mod sched;
 pub use chip::Chip;
 pub use config::FlashConfig;
 pub use device::{FlashDevice, FlashOpKind};
-pub use ftl::PageFtl;
+pub use ftl::{FtlError, PageFtl};
 pub use ftl_block::BlockFtl;
 pub use sched::{SchedConfig, SchedPolicy, SchedStats, WriteClass, WriteRequest};
