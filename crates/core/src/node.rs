@@ -22,6 +22,7 @@ use nvhsm_device::{
 };
 use nvhsm_fault::FaultPlan;
 use nvhsm_model::Features;
+use nvhsm_obs::{emit, MetricsRegistry, SharedSink, TraceEvent};
 use nvhsm_sim::{Histogram, OnlineStats, SimDuration, SimRng, SimTime};
 use nvhsm_workload::{GenOp, IoGenerator, SpecProgram, SpecTraffic, WorkloadProfile};
 use serde::{Deserialize, Serialize};
@@ -281,6 +282,11 @@ pub struct NodeSim {
     migration_log: Arc<Vec<MigrationEvent>>,
     last_cache_counts: (u64, u64),
     nvdimm_epoch_latency: OnlineStats,
+    // Observability. Both default to off; the simulation's numeric results
+    // are identical either way.
+    trace: Option<SharedSink>,
+    metrics: Option<MetricsRegistry>,
+    epoch_ordinal: u64,
 }
 
 impl NodeSim {
@@ -389,6 +395,57 @@ impl NodeSim {
             migration_log: Arc::new(Vec::new()),
             last_cache_counts: (0, 0),
             nvdimm_epoch_latency: OnlineStats::new(),
+            trace: None,
+            metrics: None,
+            epoch_ordinal: 0,
+        }
+    }
+
+    /// Attaches (or clears) a trace sink. The sink receives node-level
+    /// events (retries, migration phase transitions, placement and
+    /// imbalance decisions) and is also installed into every datastore's
+    /// device, which reports submit/complete and fault-gate outcomes.
+    pub fn set_trace_sink(&mut self, sink: Option<SharedSink>) {
+        for ds in &mut self.datastores {
+            ds.device_mut().install_trace_sink(sink.clone());
+        }
+        self.trace = sink;
+    }
+
+    /// Enables the metrics registry (counters, gauges and latency
+    /// histograms keyed by device and node).
+    pub fn enable_metrics(&mut self) {
+        self.metrics = Some(MetricsRegistry::new());
+    }
+
+    /// The metrics registry, if [`NodeSim::enable_metrics`] was called.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
+    }
+
+    /// Takes the metrics registry out, leaving metrics enabled but empty.
+    pub fn take_metrics(&mut self) -> Option<MetricsRegistry> {
+        self.metrics.replace(MetricsRegistry::new())
+    }
+
+    /// Device-kind label and node index of datastore `ds`, the key pair
+    /// metrics are registered under.
+    fn obs_key(&self, ds: usize) -> (String, u32) {
+        (
+            self.datastores[ds].device().kind().to_string(),
+            self.datastores[ds].node() as u32,
+        )
+    }
+
+    /// Runs `f` against the metrics registry when metrics are enabled; the
+    /// key strings for datastore `ds` are only built when a registry exists,
+    /// keeping the disabled path allocation-free.
+    fn with_metrics(&mut self, ds: usize, f: impl FnOnce(&mut MetricsRegistry, &str, u32)) {
+        if self.metrics.is_some() {
+            let (dev, node) = self.obs_key(ds);
+            if let Some(m) = &mut self.metrics {
+                f(m, &dev, node);
+            }
         }
     }
 
@@ -453,7 +510,13 @@ impl NodeSim {
             .initial_placement(&observations, &info)
             .map(|DatastoreId(i)| i)
             .expect("no datastore can hold the VMDK");
-        self.add_workload_on(profile, ds)
+        let id = self.add_workload_on(profile, ds);
+        emit(&self.trace, || TraceEvent::Placement {
+            t: self.now.as_ns(),
+            vmdk: id.0,
+            dst: self.datastores[ds].device().kind().to_string(),
+        });
+        id
     }
 
     /// Adds a workload on an explicit datastore.
@@ -558,6 +621,11 @@ impl NodeSim {
         self.bus_util_series = Arc::new(Vec::new());
         self.migration_log = Arc::new(Vec::new());
         self.nvdimm_epoch_latency = OnlineStats::new();
+        if self.metrics.is_some() {
+            // Warm-up metrics are discarded along with the other
+            // accumulators; the registry stays enabled.
+            self.metrics = Some(MetricsRegistry::new());
+        }
         for m in &mut self.migrations {
             // In-flight migrations' clocks restart so their pre-reset
             // portions are not charged to the measured window.
@@ -643,12 +711,21 @@ impl NodeSim {
                 Ok(c) => return Ok(c),
                 Err(e) => {
                     self.io_errors += 1;
+                    self.with_metrics(ds, |m, dev, node| m.counter_inc("io_errors", dev, node));
                     if !e.is_retryable() || attempt >= self.cfg.max_retries {
                         return Err(e);
                     }
                     self.retries += 1;
-                    req.arrival = e.at() + self.cfg.retry_backoff * (1u64 << attempt.min(16));
+                    let backoff = self.cfg.retry_backoff * (1u64 << attempt.min(16));
+                    req.arrival = e.at() + backoff;
                     attempt += 1;
+                    emit(&self.trace, || TraceEvent::Retry {
+                        t: e.at().as_ns(),
+                        vmdk: req.stream,
+                        attempt,
+                        backoff_ns: backoff.as_ns(),
+                    });
+                    self.with_metrics(ds, |m, dev, node| m.counter_inc("retries", dev, node));
                 }
             }
         }
@@ -664,6 +741,10 @@ impl NodeSim {
             self.nvdimm_epoch_latency
                 .add(completion.latency.as_us_f64());
         }
+        self.with_metrics(target_ds, |m, dev, node| {
+            m.counter_inc("requests", dev, node);
+            m.observe("latency_us", dev, node, completion.latency.as_us_f64());
+        });
         if completion.latency > self.cfg.backpressure {
             self.workloads[wi].generator.fast_forward(completion.done);
         }
@@ -753,7 +834,16 @@ impl NodeSim {
                 // epoch manager resumes or aborts it.
                 if let Some(mi) = mig {
                     if !e.is_retryable() && target_ds == self.migrations[mi].active.dst.0 {
+                        let was_suspended = self.migrations[mi].active.suspended();
                         self.migrations[mi].active.suspend(e.at());
+                        if !was_suspended {
+                            let copied = self.migrations[mi].active.copied_blocks;
+                            emit(&self.trace, || TraceEvent::MigrationSuspend {
+                                t: e.at().as_ns(),
+                                vmdk: vmdk.0,
+                                copied,
+                            });
+                        }
                     }
                 }
                 let mut served = false;
@@ -765,6 +855,14 @@ impl NodeSim {
                             self.record_served(wi, src, &completion);
                             served = true;
                             if mirror_route {
+                                emit(&self.trace, || TraceEvent::MirrorFallback {
+                                    t: completion.done.as_ns(),
+                                    vmdk: vmdk.0,
+                                    dst: self.datastores[src].device().kind().to_string(),
+                                });
+                                self.with_metrics(src, |m, dev, node| {
+                                    m.counter_inc("mirror_fallbacks", dev, node)
+                                });
                                 // The write landed on the source instead:
                                 // any destination copies of these blocks are
                                 // stale and must be re-copied.
@@ -780,6 +878,9 @@ impl NodeSim {
                 }
                 if !served {
                     self.failed_requests += 1;
+                    self.with_metrics(target_ds, |m, dev, node| {
+                        m.counter_inc("failed_requests", dev, node)
+                    });
                 }
             }
         }
@@ -826,10 +927,20 @@ impl NodeSim {
                 Ok(c) => c,
                 Err(e) => {
                     self.io_errors += 1;
+                    self.with_metrics(src, |m, dev, node| m.counter_inc("io_errors", dev, node));
                     if !e.is_retryable() {
                         // Source offline: park the migration; its bitmap
                         // survives for a later resume.
+                        let was_suspended = self.migrations[mi].active.suspended();
                         self.migrations[mi].active.suspend(e.at());
+                        if !was_suspended {
+                            let copied = self.migrations[mi].active.copied_blocks;
+                            emit(&self.trace, || TraceEvent::MigrationSuspend {
+                                t: e.at().as_ns(),
+                                vmdk: vmdk.0,
+                                copied,
+                            });
+                        }
                         break;
                     }
                     continue; // bit stays clear; a later round re-copies it
@@ -847,8 +958,18 @@ impl NodeSim {
                 Ok(c) => c,
                 Err(e) => {
                     self.io_errors += 1;
+                    self.with_metrics(dst, |m, dev, node| m.counter_inc("io_errors", dev, node));
                     if !e.is_retryable() {
+                        let was_suspended = self.migrations[mi].active.suspended();
                         self.migrations[mi].active.suspend(e.at());
+                        if !was_suspended {
+                            let copied = self.migrations[mi].active.copied_blocks;
+                            emit(&self.trace, || TraceEvent::MigrationSuspend {
+                                t: e.at().as_ns(),
+                                vmdk: vmdk.0,
+                                copied,
+                            });
+                        }
                         break;
                     }
                     continue;
@@ -887,6 +1008,16 @@ impl NodeSim {
         self.migration_wall += self.now.saturating_since(m.active.started);
         self.migrations_completed += 1;
         self.mirrored_blocks += m.active.mirrored_blocks;
+        emit(&self.trace, || TraceEvent::MigrationCutover {
+            t: self.now.as_ns(),
+            vmdk: vmdk.0,
+            copied: m.active.copied_blocks,
+            mirrored: m.active.mirrored_blocks,
+            stale: m.active.invalidated_blocks,
+        });
+        self.with_metrics(dst, |m, dev, node| {
+            m.counter_inc("migrations_completed", dev, node)
+        });
         if self.datastores[src].hosts(vmdk) {
             self.datastores[src].remove(vmdk);
         }
@@ -897,7 +1028,11 @@ impl NodeSim {
         }
     }
 
-    fn start_migration(&mut self, decision: MigrationDecision) {
+    /// Starts a migration immediately, bypassing the manager's decision
+    /// loop. The manager calls this internally; tests and harnesses use it
+    /// to force a specific migration into a known window (e.g. a scheduled
+    /// device outage). A no-op when the VMDK is already migrating.
+    pub fn start_migration(&mut self, decision: MigrationDecision) {
         if self
             .migrations
             .iter()
@@ -931,6 +1066,17 @@ impl NodeSim {
             src: decision.src.0,
             dst,
             mode: decision.mode,
+        });
+        emit(&self.trace, || TraceEvent::MigrationStart {
+            t: self.now.as_ns(),
+            vmdk: decision.vmdk.0,
+            src: self.datastores[decision.src.0].device().kind().to_string(),
+            dst: self.datastores[dst].device().kind().to_string(),
+            mode: format!("{:?}", decision.mode),
+            blocks,
+        });
+        self.with_metrics(dst, |m, dev, node| {
+            m.counter_inc("migrations_started", dev, node)
         });
         let mut active = ActiveMigration::new(
             decision.vmdk,
@@ -977,6 +1123,7 @@ impl NodeSim {
                 Ok(c) => return Some(c),
                 Err(e) => {
                     self.io_errors += 1;
+                    self.with_metrics(ds, |m, dev, node| m.counter_inc("io_errors", dev, node));
                     let mut next = e.at() + self.cfg.retry_backoff * (1u64 << attempt.min(8));
                     if !e.is_retryable() {
                         if let Some(until) = self
@@ -1009,6 +1156,7 @@ impl NodeSim {
         self.mirrored_blocks += m.active.mirrored_blocks;
         let stream = 2_000_000 + vmdk.0;
         let mut at = self.now;
+        let mut rolled_back = 0u64;
         for offset in m.active.dirty_blocks() {
             let (Some(src_block), Some(dst_block)) = (
                 self.datastores[src].translate(vmdk, offset),
@@ -1023,13 +1171,25 @@ impl NodeSim {
                 self.submit_generous(src, write)
             });
             match write_back {
-                Some(w) => at = w.done,
+                Some(w) => {
+                    at = w.done;
+                    rolled_back += 1;
+                }
                 None => self.blocks_lost += 1,
             }
         }
         if self.datastores[dst].hosts(vmdk) {
             self.datastores[dst].remove(vmdk);
         }
+        emit(&self.trace, || TraceEvent::MigrationAbort {
+            t: self.now.as_ns(),
+            vmdk: vmdk.0,
+            rolled_back,
+        });
+        self.with_metrics(dst, |m, dev, node| {
+            m.counter_inc("migrations_aborted", dev, node);
+            m.counter_add("rolled_back_blocks", dev, node, rolled_back);
+        });
         // The rolled-back copy was real interference; cool down as after a
         // completed migration.
         self.decision_cooldown_until = self.now + self.cfg.epoch * 3;
@@ -1046,11 +1206,19 @@ impl NodeSim {
         let health: Vec<DeviceHealth> = (0..self.datastores.len())
             .map(|i| self.store_health(i))
             .collect();
+        let now = self.now;
+        let trace = &self.trace;
         for m in &mut self.migrations {
             let endpoint_down = health[m.active.src.0] == DeviceHealth::Offline
                 || health[m.active.dst.0] == DeviceHealth::Offline;
             if endpoint_down && !m.active.suspended() {
-                m.active.suspend(self.now);
+                m.active.suspend(now);
+                let (vmdk, copied) = (m.active.vmdk.0, m.active.copied_blocks);
+                emit(trace, || TraceEvent::MigrationSuspend {
+                    t: now.as_ns(),
+                    vmdk,
+                    copied,
+                });
             }
         }
         let mut i = 0;
@@ -1070,10 +1238,20 @@ impl NodeSim {
                 continue;
             }
             if self.now.saturating_since(since) <= self.cfg.abort_grace {
+                let t_ns = self.now.as_ns();
                 let m = &mut self.migrations[i];
                 m.active.resume();
                 m.next_copy_at = self.now;
                 self.migrations_resumed += 1;
+                let (vmdk, remaining) = (m.active.vmdk.0, m.active.remaining_blocks());
+                emit(&self.trace, || TraceEvent::MigrationResume {
+                    t: t_ns,
+                    vmdk,
+                    remaining,
+                });
+                self.with_metrics(dst, |m, dev, node| {
+                    m.counter_inc("migrations_resumed", dev, node)
+                });
                 i += 1;
             } else {
                 self.abort_migration(i); // removes the entry; don't advance
@@ -1199,6 +1377,28 @@ impl NodeSim {
         // own counter-move.
         let busy = self.migrations.len() >= self.nodes || self.now < self.decision_cooldown_until;
         let decision = self.manager.epoch_decision(&observations, busy);
+        self.epoch_ordinal += 1;
+        {
+            let diag = self.manager.last_diagnostics();
+            let (imbalance, triggered, vetoed) = (diag.imbalance, diag.triggered, diag.vetoed);
+            let epoch = self.epoch_ordinal;
+            emit(&self.trace, || TraceEvent::ImbalanceTrigger {
+                t: self.now.as_ns(),
+                epoch,
+                imbalance,
+                triggered,
+                vetoed,
+            });
+            if let Some(reg) = &mut self.metrics {
+                reg.gauge_set("imbalance", "", 0, imbalance);
+                if triggered {
+                    reg.counter_inc("imbalance_triggers", "", 0);
+                }
+                if vetoed {
+                    reg.counter_inc("imbalance_vetoes", "", 0);
+                }
+            }
+        }
         if std::env::var_os("NVHSM_TRACE").is_some() {
             let diag = self.manager.last_diagnostics();
             if diag.triggered && diag.vetoed {
@@ -1230,6 +1430,15 @@ impl NodeSim {
             // No balance move this epoch: check for residents stranded on
             // a degraded store and evacuate the hottest one.
             if let Some(d) = self.manager.evacuation_decision(&observations) {
+                emit(&self.trace, || TraceEvent::Evacuation {
+                    t: self.now.as_ns(),
+                    vmdk: d.vmdk.0,
+                    src: self.datastores[d.src.0].device().kind().to_string(),
+                    dst: self.datastores[d.dst.0].device().kind().to_string(),
+                });
+                if let Some(reg) = &mut self.metrics {
+                    reg.counter_inc("evacuations", "", 0);
+                }
                 self.start_migration(d);
             }
         }
@@ -1286,7 +1495,7 @@ impl NodeSim {
                     self.served_requests as f64 / attempts as f64
                 }
             },
-            p99_latency_us: self.latency_hist.percentile(99.0),
+            p99_latency_us: self.latency_hist.p99(),
             io_errors: self.io_errors,
             retries: self.retries,
             failed_requests: self.failed_requests,

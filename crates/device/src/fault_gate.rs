@@ -8,20 +8,88 @@
 //! windows (latency spikes, stalls) let the request through and then warp
 //! its completion time.
 
-use crate::io::{IoCompletion, IoError};
+use crate::io::{DeviceKind, IoCompletion, IoError, IoOp, IoRequest};
 use nvhsm_fault::{DeviceFaultHook, FaultOutcome};
+use nvhsm_obs::{emit, FaultKind as ObsFaultKind, SharedSink, TraceEvent};
 use nvhsm_sim::{SimDuration, SimTime};
 
-/// Per-device fault state: an optional installed hook.
-#[derive(Debug, Default)]
+/// Per-device fault state: an optional installed hook, plus the optional
+/// trace sink submit/complete/fault-gate outcomes are reported to.
+#[derive(Default)]
 pub(crate) struct FaultGate {
     hook: Option<DeviceFaultHook>,
+    trace: Option<SharedSink>,
+}
+
+impl std::fmt::Debug for FaultGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultGate")
+            .field("hook", &self.hook)
+            .field("trace", &self.trace.is_some())
+            .finish()
+    }
 }
 
 impl FaultGate {
     /// Installs (or clears) the hook.
     pub fn install(&mut self, hook: Option<DeviceFaultHook>) {
         self.hook = hook;
+    }
+
+    /// Attaches (or clears) the trace sink.
+    pub fn install_trace(&mut self, sink: Option<SharedSink>) {
+        self.trace = sink;
+    }
+
+    /// [`FaultGate::decide`] plus tracing: emits `IoSubmit` when the
+    /// request is admitted and `IoFault` when the gate rejects it.
+    pub fn admit(&mut self, kind: DeviceKind, req: &IoRequest) -> Result<Disposition, IoError> {
+        match self.decide(req.arrival) {
+            Ok(disposition) => {
+                emit(&self.trace, || TraceEvent::IoSubmit {
+                    t: req.arrival.as_ns(),
+                    dev: kind.to_string(),
+                    stream: req.stream,
+                    block: req.block,
+                    len: req.size_blocks,
+                    op: match req.op {
+                        IoOp::Read => "R",
+                        IoOp::Write => "W",
+                    }
+                    .to_string(),
+                });
+                Ok(disposition)
+            }
+            Err(err) => {
+                emit(&self.trace, || TraceEvent::IoFault {
+                    t: req.arrival.as_ns(),
+                    dev: kind.to_string(),
+                    kind: match err {
+                        IoError::Transient { .. } => ObsFaultKind::Transient,
+                        IoError::Offline { .. } => ObsFaultKind::Offline,
+                    },
+                });
+                Err(err)
+            }
+        }
+    }
+
+    /// Builds the warped completion and emits `IoComplete`.
+    pub fn finish(
+        &mut self,
+        kind: DeviceKind,
+        disposition: Disposition,
+        req: &IoRequest,
+        done: SimTime,
+    ) -> IoCompletion {
+        let completion = disposition.complete(req.arrival, done);
+        emit(&self.trace, || TraceEvent::IoComplete {
+            t: completion.done.as_ns(),
+            dev: kind.to_string(),
+            stream: req.stream,
+            latency_ns: completion.latency.as_ns(),
+        });
+        completion
     }
 
     /// Classifies a request arriving at `at`: either it fails outright

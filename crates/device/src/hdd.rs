@@ -143,15 +143,19 @@ impl StorageDevice for HddDevice {
     fn try_submit(&mut self, req: &IoRequest) -> Result<IoCompletion, IoError> {
         // Failing windows reject before the head moves: cursor and busy
         // horizon stay untouched.
-        let disposition = self.fault.decide(req.arrival)?;
+        let disposition = self.fault.admit(DeviceKind::Hdd, req)?;
         let done = self.service(req);
-        let completion = disposition.complete(req.arrival, done);
+        let completion = self.fault.finish(DeviceKind::Hdd, disposition, req, done);
         self.stats.record(req, completion.latency);
         Ok(completion)
     }
 
     fn install_fault_hook(&mut self, hook: Option<DeviceFaultHook>) {
         self.fault.install(hook);
+    }
+
+    fn install_trace_sink(&mut self, sink: Option<nvhsm_obs::SharedSink>) {
+        self.fault.install_trace(sink);
     }
 
     fn logical_blocks(&self) -> u64 {

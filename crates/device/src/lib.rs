@@ -100,6 +100,13 @@ pub trait StorageDevice: Send {
     /// without fault support.
     fn install_fault_hook(&mut self, _hook: Option<DeviceFaultHook>) {}
 
+    /// Attaches (or clears) a trace sink. With a sink attached,
+    /// [`StorageDevice::try_submit`] reports `IoSubmit` / `IoComplete` for
+    /// admitted requests and `IoFault` for fault-gate rejections. Default
+    /// is a no-op for devices without tracing support; with no sink
+    /// attached the submit path is unchanged.
+    fn install_trace_sink(&mut self, _sink: Option<nvhsm_obs::SharedSink>) {}
+
     /// Logical capacity in 4 KiB blocks.
     fn logical_blocks(&self) -> u64;
 

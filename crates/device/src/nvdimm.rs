@@ -355,18 +355,24 @@ impl StorageDevice for NvdimmDevice {
     fn try_submit(&mut self, req: &IoRequest) -> Result<IoCompletion, IoError> {
         // Failing windows reject before serve_* runs: the request never
         // reaches the cache, the persistent lane or NAND.
-        let disposition = self.fault.decide(req.arrival)?;
+        let disposition = self.fault.admit(DeviceKind::Nvdimm, req)?;
         let done = match req.op {
             IoOp::Read => self.serve_read(req),
             IoOp::Write => self.serve_write(req),
         };
-        let completion = disposition.complete(req.arrival, done);
+        let completion = self
+            .fault
+            .finish(DeviceKind::Nvdimm, disposition, req, done);
         self.stats.record(req, completion.latency);
         Ok(completion)
     }
 
     fn install_fault_hook(&mut self, hook: Option<DeviceFaultHook>) {
         self.fault.install(hook);
+    }
+
+    fn install_trace_sink(&mut self, sink: Option<nvhsm_obs::SharedSink>) {
+        self.fault.install_trace(sink);
     }
 
     fn logical_blocks(&self) -> u64 {

@@ -187,18 +187,22 @@ impl StorageDevice for SsdDevice {
     fn try_submit(&mut self, req: &IoRequest) -> Result<IoCompletion, IoError> {
         // Failing windows reject before serve_* runs: read-ahead windows,
         // the FTL and the write buffer stay untouched.
-        let disposition = self.fault.decide(req.arrival)?;
+        let disposition = self.fault.admit(DeviceKind::Ssd, req)?;
         let done = match req.op {
             IoOp::Read => self.serve_read(req),
             IoOp::Write => self.serve_write(req),
         };
-        let completion = disposition.complete(req.arrival, done);
+        let completion = self.fault.finish(DeviceKind::Ssd, disposition, req, done);
         self.stats.record(req, completion.latency);
         Ok(completion)
     }
 
     fn install_fault_hook(&mut self, hook: Option<DeviceFaultHook>) {
         self.fault.install(hook);
+    }
+
+    fn install_trace_sink(&mut self, sink: Option<nvhsm_obs::SharedSink>) {
+        self.fault.install_trace(sink);
     }
 
     fn logical_blocks(&self) -> u64 {

@@ -7,7 +7,7 @@
 //! latency with and without the mechanism.
 
 use crate::harness::{ExperimentResult, Row, Scale};
-use nvhsm_flash::sched::{simulate, SchedConfig, SchedPolicy, WriteClass, WriteRequest};
+use nvhsm_flash::sched::{simulate_traced, SchedConfig, SchedPolicy, WriteClass, WriteRequest};
 use nvhsm_sim::{SimDuration, SimRng, SimTime};
 
 /// A persistent-heavy trace over few channels with a handful of migrated
@@ -55,8 +55,13 @@ pub fn run(scale: Scale) -> ExperimentResult {
     );
     for share in [0.80, 0.90, 0.95] {
         let trace = starvation_trace(n, share, 101);
-        let both = simulate(&cfg, &trace, SchedPolicy::Both);
-        let np = simulate(&cfg, &trace, SchedPolicy::BothNpBarrier);
+        let pct = (share * 100.0) as u32;
+        let both = crate::obs::with_sched_trace(format!("fig10/{pct}pct/both"), |sink| {
+            simulate_traced(&cfg, &trace, SchedPolicy::Both, sink)
+        });
+        let np = crate::obs::with_sched_trace(format!("fig10/{pct}pct/np_barrier"), |sink| {
+            simulate_traced(&cfg, &trace, SchedPolicy::BothNpBarrier, sink)
+        });
         result.push_row(Row::new(
             format!("persistent_{:.0}pct", share * 100.0),
             vec![

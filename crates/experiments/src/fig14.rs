@@ -3,7 +3,7 @@
 //! barrier-respecting baseline, per big-data benchmark.
 
 use crate::harness::{ExperimentResult, Row, Scale};
-use nvhsm_flash::sched::{simulate, SchedConfig, SchedPolicy, WriteClass, WriteRequest};
+use nvhsm_flash::sched::{simulate_traced, SchedConfig, SchedPolicy, WriteClass, WriteRequest};
 use nvhsm_sim::{SimRng, SimTime};
 use nvhsm_workload::hibench::Benchmark;
 
@@ -75,9 +75,17 @@ pub fn run(scale: Scale) -> ExperimentResult {
     // all four policies (the trace is shared within the point).
     let grid: Vec<(usize, Benchmark)> = Benchmark::ALL.iter().copied().enumerate().collect();
     let cfg_ref = &cfg;
+    // One trace capture per grid point (all four policies into the same
+    // sink, sequentially — the per-point order is serial and thus
+    // deterministic). The grid serial is taken before the fan-out so the
+    // collected order never depends on the worker count.
+    let obs_grid = crate::obs::options().trace.then(crate::obs::next_grid);
     let rows = nvhsm_sim::parallel::map_grid(grid, move |(bi, b)| {
         let trace = trace_for(b, n, 140 + bi as u64);
-        let base = simulate(cfg_ref, &trace, SchedPolicy::Baseline);
+        let sink = obs_grid
+            .is_some()
+            .then(|| nvhsm_obs::shared(nvhsm_obs::RingSink::new(crate::obs::TRACE_RING_CAPACITY)));
+        let base = simulate_traced(cfg_ref, &trace, SchedPolicy::Baseline, &sink);
         // The paper's metric is I/O performance across the served writes
         // (makespan is work-conserving-invariant, latency is not): the
         // request-weighted mean over persistent and migrated writes.
@@ -85,14 +93,26 @@ pub fn run(scale: Scale) -> ExperimentResult {
             0.85 * s.persistent_mean_us + 0.15 * s.migrated_mean_us
         };
         let speedup = |p: SchedPolicy| -> f64 {
-            let s = simulate(cfg_ref, &trace, p);
+            let s = simulate_traced(cfg_ref, &trace, p, &sink);
             mean_lat(&base) / mean_lat(&s).max(1e-9)
         };
-        [
+        let row = [
             speedup(SchedPolicy::PolicyOne),
             speedup(SchedPolicy::PolicyTwo),
             speedup(SchedPolicy::Both),
-        ]
+        ];
+        if let (Some(g), Some(s)) = (obs_grid, &sink) {
+            let (events, dropped) = nvhsm_obs::drain_ring_stats(s);
+            crate::obs::record(crate::obs::ScenarioObs {
+                grid: g,
+                case: bi as u64,
+                label: format!("fig14/{}", b.name()),
+                events,
+                metrics: None,
+                dropped,
+            });
+        }
+        row
     });
     for (b, row) in Benchmark::ALL.iter().zip(rows) {
         for (s, v) in sums.iter_mut().zip(row.iter()) {

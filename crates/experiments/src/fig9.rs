@@ -3,7 +3,9 @@
 //! Fig. 9 (a) baseline, (b) Policy One, (c) Policy One + Two.
 
 use crate::harness::{ExperimentResult, Row, Scale};
-use nvhsm_flash::sched::{simulate_detailed, SchedConfig, SchedPolicy, WriteClass, WriteRequest};
+use nvhsm_flash::sched::{
+    simulate_detailed_traced, SchedConfig, SchedPolicy, WriteClass, WriteRequest,
+};
 use nvhsm_sim::{SimDuration, SimTime};
 
 /// The Fig. 9 request set: RA,RB,RE,RF persistent; RC,RD,RG,RH migrated;
@@ -53,7 +55,9 @@ pub fn run(_scale: Scale) -> ExperimentResult {
         ("b_policy_one", SchedPolicy::PolicyOne),
         ("c_both", SchedPolicy::Both),
     ] {
-        let (_, completions) = simulate_detailed(&cfg, &trace, policy);
+        let (_, completions) = crate::obs::with_sched_trace(format!("fig9/{label}"), |sink| {
+            simulate_detailed_traced(&cfg, &trace, policy, sink)
+        });
         result.push_row(Row::new(
             label,
             completions

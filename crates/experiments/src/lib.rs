@@ -42,6 +42,7 @@ pub mod fig7;
 pub mod fig9;
 pub mod harness;
 pub mod mix;
+pub mod obs;
 pub mod placement;
 pub mod table1;
 pub mod table2;

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments <id>... [--quick] [--jobs N] [--json [DIR]] [--csv]
+//!                     [--trace FILE] [--metrics]
 //! experiments all [--quick] [--jobs N]
 //! experiments list
 //! ```
@@ -10,8 +11,17 @@
 //! forces fully serial execution; output is byte-identical either way).
 //! `--json` prints JSON to stdout; `--json DIR` writes one
 //! `DIR/<id>.json` file per experiment instead.
+//! `--trace FILE` writes every scenario's structured trace events as JSON
+//! Lines (scenario header line, then one event per line); the file is
+//! byte-identical for any `--jobs` count. `--metrics` dumps each
+//! scenario's counters/gauges/latency quantiles — to `DIR/<id>.metrics.json`
+//! alongside `--json DIR`, to stdout otherwise. Without either flag no sink
+//! is ever attached and output bytes are unchanged.
 
+use nvhsm_experiments::obs::{self, MetricsDump, ObsOptions, ScenarioHeader, ScenarioMetrics};
 use nvhsm_experiments::{run_experiment, Scale, ALL_EXPERIMENTS};
+use nvhsm_obs::MetricsRegistry;
+use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -22,14 +32,21 @@ struct Cli {
     json_dir: Option<PathBuf>,
     csv: bool,
     jobs: Option<usize>,
+    trace: Option<PathBuf>,
+    metrics: bool,
 }
 
 fn usage() {
-    eprintln!("usage: experiments <id>... [--quick] [--jobs N] [--json [DIR]] [--csv]");
+    eprintln!(
+        "usage: experiments <id>... [--quick] [--jobs N] [--json [DIR]] [--csv] \
+         [--trace FILE] [--metrics]"
+    );
     eprintln!("known experiments: {}", ALL_EXPERIMENTS.join(", "));
     eprintln!("`all` runs everything in paper order");
     eprintln!("`--jobs N` caps parallel workers (1 = serial; same output either way)");
     eprintln!("`--json DIR` writes DIR/<id>.json per experiment instead of stdout");
+    eprintln!("`--trace FILE` writes per-scenario trace events as JSON Lines");
+    eprintln!("`--metrics` dumps per-scenario counters/gauges/latency quantiles");
 }
 
 fn is_experiment_word(word: &str) -> bool {
@@ -44,6 +61,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         json_dir: None,
         csv: false,
         jobs: None,
+        trace: None,
+        metrics: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -75,6 +94,14 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 cli.jobs = Some(n);
                 i += 1;
             }
+            "--trace" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--trace needs a file path".to_string())?;
+                cli.trace = Some(PathBuf::from(value));
+                i += 1;
+            }
+            "--metrics" => cli.metrics = true,
             _ if arg.starts_with("--") => {
                 return Err(format!("unknown flag {arg:?}"));
             }
@@ -120,9 +147,29 @@ fn main() -> ExitCode {
         }
     }
 
+    let obs_opts = ObsOptions {
+        trace: cli.trace.is_some(),
+        metrics: cli.metrics,
+    };
+    let mut trace_out = match &cli.trace {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some(std::io::BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("error: cannot create {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     for id in ids {
+        obs::set_observation(obs_opts);
         match run_experiment(id, scale) {
             Ok(result) => {
+                if let Err(e) = dump_observations(id, &cli, &mut trace_out) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
                 let json_body = if cli.json {
                     match serde_json::to_string_pretty(&result) {
                         Ok(body) => Some(body),
@@ -155,5 +202,72 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(out) = &mut trace_out {
+        if let Err(e) = out.flush() {
+            eprintln!("error: cannot flush trace file: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Drains the scenario captures of one finished experiment: appends them to
+/// the trace file and emits the metrics dump.
+fn dump_observations(
+    id: &str,
+    cli: &Cli,
+    trace_out: &mut Option<std::io::BufWriter<std::fs::File>>,
+) -> Result<(), String> {
+    let scenarios = obs::take_observations();
+    if let Some(out) = trace_out {
+        for s in &scenarios {
+            let header = ScenarioHeader {
+                experiment: id.to_owned(),
+                grid: s.grid,
+                case: s.case,
+                label: s.label.clone(),
+                events: s.events.len() as u64,
+                dropped: s.dropped,
+            };
+            let line = serde_json::to_string(&header)
+                .map_err(|e| format!("cannot serialize trace header: {e}"))?;
+            writeln!(out, "{line}").map_err(|e| format!("cannot write trace file: {e}"))?;
+            for event in &s.events {
+                let line = serde_json::to_string(event)
+                    .map_err(|e| format!("cannot serialize trace event: {e}"))?;
+                writeln!(out, "{line}").map_err(|e| format!("cannot write trace file: {e}"))?;
+            }
+            if s.dropped > 0 {
+                eprintln!(
+                    "note: {id} scenario {} overflowed the trace ring; {} oldest events dropped",
+                    s.label, s.dropped
+                );
+            }
+        }
+    }
+    if cli.metrics {
+        let dump = MetricsDump {
+            experiment: id.to_owned(),
+            scenarios: scenarios
+                .iter()
+                .filter_map(|s| {
+                    s.metrics.as_ref().map(|snap| ScenarioMetrics {
+                        label: s.label.clone(),
+                        report: MetricsRegistry::restore(snap).report(),
+                    })
+                })
+                .collect(),
+        };
+        let body = serde_json::to_string_pretty(&dump)
+            .map_err(|e| format!("cannot serialize {id} metrics: {e}"))?;
+        if let Some(dir) = &cli.json_dir {
+            let path = dir.join(format!("{id}.metrics.json"));
+            std::fs::write(&path, &body)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("wrote {}", path.display());
+        } else {
+            println!("{body}");
+        }
+    }
+    Ok(())
 }

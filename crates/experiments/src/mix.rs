@@ -15,8 +15,10 @@
 //!   architectural optimizations earn their keep (Fig. 13, τ sweep).
 
 use crate::harness::Scale;
+use crate::obs::{ObsOptions, ScenarioObs, TRACE_RING_CAPACITY};
 use nvhsm_core::{NodeConfig, NodeReport, NodeSim, PolicyKind};
 use nvhsm_fault::{FaultIntensity, FaultPlan};
+use nvhsm_obs::{drain_ring_stats, shared, MetricsSnapshot, RingSink, TraceEvent};
 use nvhsm_sim::SimDuration;
 use nvhsm_workload::hibench::all_profiles;
 use nvhsm_workload::{SpecProgram, WorkloadProfile};
@@ -104,8 +106,31 @@ fn mix_profiles(scale_div: u64, phase_amplitude: f64) -> Vec<WorkloadProfile> {
         .collect()
 }
 
+/// What one observed mix run captured alongside its report.
+#[derive(Debug, Clone, Default)]
+pub struct MixObservation {
+    /// Trace events, simulation order (a suffix when `dropped > 0`).
+    pub events: Vec<TraceEvent>,
+    /// Final metrics registry state, when metrics capture was on.
+    pub metrics: Option<MetricsSnapshot>,
+    /// Events evicted from the capture ring.
+    pub dropped: u64,
+}
+
 /// Runs the eight-benchmark mix and returns the full report.
 pub fn run_mix(params: MixParams, scale: Scale) -> NodeReport {
+    run_mix_observed(params, scale, ObsOptions::OFF).0
+}
+
+/// Runs the eight-benchmark mix with optional trace/metrics capture.
+///
+/// With `ObsOptions::OFF` this is exactly [`run_mix`]: no sink is ever
+/// attached and the simulation takes its byte-identical no-observation path.
+pub fn run_mix_observed(
+    params: MixParams,
+    scale: Scale,
+    opts: ObsOptions,
+) -> (NodeReport, MixObservation) {
     let mut cfg = NodeConfig::small();
     cfg.policy = params.policy;
     cfg.tau = params.tau;
@@ -124,8 +149,20 @@ pub fn run_mix(params: MixParams, scale: Scale) -> NodeReport {
     }
     let mut sim = NodeSim::with_nodes(cfg, params.nodes, params.seed);
 
+    let sink = if opts.trace {
+        Some(shared(RingSink::new(TRACE_RING_CAPACITY)))
+    } else {
+        None
+    };
+    if let Some(s) = &sink {
+        sim.set_trace_sink(Some(s.clone()));
+    }
+    if opts.metrics {
+        sim.enable_metrics();
+    }
+
     let drain_limit = SimDuration::from_secs(6 * scale.horizon_secs());
-    if params.arrivals {
+    let report = if params.arrivals {
         // Migration-work scenario: five workloads run from the start and
         // drain to equilibrium; three larger ones then arrive on the SSD
         // tier (a natural but suboptimal landing spot), so every policy has
@@ -165,13 +202,50 @@ pub fn run_mix(params: MixParams, scale: Scale) -> NodeReport {
         sim.run_until_quiet(drain_limit);
         sim.reset_metrics();
         sim.run_secs(2 * scale.horizon_secs())
-    }
+    };
+
+    let (events, dropped) = match &sink {
+        Some(s) => drain_ring_stats(s),
+        None => (Vec::new(), 0),
+    };
+    let metrics = sim.take_metrics().map(|m| m.snapshot());
+    (
+        report,
+        MixObservation {
+            events,
+            metrics,
+            dropped,
+        },
+    )
 }
 
 /// Runs many mix configurations as one scenario grid, in parallel, and
 /// returns the reports in input order (see `nvhsm_sim::parallel`).
+///
+/// When the CLI has armed observation (see [`crate::obs`]), every case also
+/// captures its own trace/metrics; captures are recorded against this
+/// grid's serial and the case's input position, so the collected order is
+/// independent of the worker count.
 pub fn run_mix_grid(cases: Vec<MixParams>, scale: Scale) -> Vec<NodeReport> {
-    nvhsm_sim::parallel::map_grid(cases, move |p| run_mix(p, scale))
+    let opts = crate::obs::options();
+    if !opts.enabled() {
+        return nvhsm_sim::parallel::map_grid(cases, move |p| run_mix(p, scale));
+    }
+    let grid = crate::obs::next_grid();
+    let indexed: Vec<(usize, MixParams)> = cases.into_iter().enumerate().collect();
+    let observed = nvhsm_sim::parallel::map_grid(indexed, move |(case, p)| {
+        let (report, obs) = run_mix_observed(p, scale, opts);
+        crate::obs::record(ScenarioObs {
+            grid,
+            case: case as u64,
+            label: format!("{p:?}"),
+            events: obs.events,
+            metrics: obs.metrics,
+            dropped: obs.dropped,
+        });
+        report
+    });
+    observed
 }
 
 /// Runs every case over every seed — one flat cases × seeds grid across

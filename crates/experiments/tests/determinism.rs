@@ -3,7 +3,9 @@
 //! one worker or many.
 
 use nvhsm_device::{IoOp, IoRequest, SsdConfig, SsdDevice, StorageDevice};
+use nvhsm_experiments::obs::{self, ObsOptions};
 use nvhsm_experiments::{faults, fig12, Scale};
+use nvhsm_obs::to_jsonl;
 use nvhsm_sim::{parallel, SimDuration, SimRng, SimTime};
 use std::sync::Mutex;
 
@@ -48,6 +50,48 @@ fn fault_injection_is_byte_identical_across_job_counts() {
         serde_json::to_string(&serial).expect("serializable"),
         serde_json::to_string(&parallel_run).expect("serializable"),
     );
+}
+
+/// Runs fig12 with tracing + metrics armed and renders every scenario
+/// capture — ordering fields, label, JSONL events, metrics snapshot — into
+/// one string, exactly as `--trace`/`--metrics` would see them.
+fn traced_fig12_dump() -> String {
+    obs::set_observation(ObsOptions {
+        trace: true,
+        metrics: true,
+    });
+    let report = fig12::run(Scale::Quick);
+    let mut dump = String::new();
+    for s in obs::take_observations() {
+        dump.push_str(&format!(
+            "## grid={} case={} label={} dropped={}\n",
+            s.grid, s.case, s.label, s.dropped
+        ));
+        dump.push_str(&to_jsonl(&s.events));
+        if let Some(snap) = &s.metrics {
+            dump.push_str(&serde_json::to_string(snap).expect("serializable snapshot"));
+            dump.push('\n');
+        }
+    }
+    obs::set_observation(ObsOptions::OFF);
+    dump.push_str(&report.to_csv());
+    dump
+}
+
+#[test]
+fn traces_are_byte_identical_across_job_counts() {
+    // The observation layer must not leak worker scheduling: the JSONL
+    // trace and metrics dumps for --jobs 1 and --jobs 4 are byte-identical,
+    // scenario order included.
+    let _guard = JOBS_LOCK.lock().unwrap();
+    parallel::set_jobs(Some(1));
+    let serial = traced_fig12_dump();
+    parallel::set_jobs(Some(4));
+    let fanned = traced_fig12_dump();
+    parallel::set_jobs(None);
+
+    assert!(!serial.is_empty());
+    assert_eq!(serial, fanned);
 }
 
 /// A small but non-trivial device scenario; returns latencies as raw bits

@@ -24,6 +24,7 @@
 //! transfer+program service time, and a barrier stream partitions requests
 //! into epochs.
 
+use nvhsm_obs::{emit, SharedSink, TraceEvent};
 use nvhsm_sim::{EventQueue, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -164,7 +165,42 @@ pub fn simulate_detailed(
     requests: &[WriteRequest],
     policy: SchedPolicy,
 ) -> (SchedStats, Vec<Option<f64>>) {
-    simulate_inner(cfg, requests, policy)
+    simulate_inner(cfg, requests, policy, &None)
+}
+
+/// [`simulate_detailed`] with barrier-decision tracing (see
+/// [`simulate_traced`]).
+///
+/// # Panics
+///
+/// Panics if any request addresses a channel outside the configuration or
+/// the trace is empty.
+pub fn simulate_detailed_traced(
+    cfg: &SchedConfig,
+    requests: &[WriteRequest],
+    policy: SchedPolicy,
+    trace: &Option<SharedSink>,
+) -> (SchedStats, Vec<Option<f64>>) {
+    simulate_inner(cfg, requests, policy, trace)
+}
+
+/// Simulates a write trace under `policy`, emitting a `BarrierDispatch`
+/// event for every request handed to a chip server and a `BarrierDiscard`
+/// event for every migrated write killed by the Policy-Two alias rule.
+///
+/// With `trace` set to `None` this is exactly [`simulate`].
+///
+/// # Panics
+///
+/// Panics if any request addresses a channel outside the configuration or
+/// the trace is empty.
+pub fn simulate_traced(
+    cfg: &SchedConfig,
+    requests: &[WriteRequest],
+    policy: SchedPolicy,
+    trace: &Option<SharedSink>,
+) -> SchedStats {
+    simulate_inner(cfg, requests, policy, trace).0
 }
 
 /// Simulates a write trace under `policy`.
@@ -191,13 +227,14 @@ pub fn simulate_detailed(
 /// assert!(p1.makespan <= base.makespan);
 /// ```
 pub fn simulate(cfg: &SchedConfig, requests: &[WriteRequest], policy: SchedPolicy) -> SchedStats {
-    simulate_inner(cfg, requests, policy).0
+    simulate_inner(cfg, requests, policy, &None).0
 }
 
 fn simulate_inner(
     cfg: &SchedConfig,
     requests: &[WriteRequest],
     policy: SchedPolicy,
+    trace: &Option<SharedSink>,
 ) -> (SchedStats, Vec<Option<f64>>) {
     assert!(!requests.is_empty(), "empty trace");
     assert!(
@@ -367,6 +404,12 @@ fn simulate_inner(
                                 discarded += 1;
                                 discarded_here = true;
                                 open_any[o.req.epoch as usize] -= 1;
+                                let req_id = o.req.id;
+                                emit(trace, || TraceEvent::BarrierDiscard {
+                                    t: now.as_ns() / 1_000,
+                                    policy: format!("{policy:?}"),
+                                    req: req_id,
+                                });
                             }
                         }
                     }
@@ -381,6 +424,15 @@ fn simulate_inner(
                     }
                     servers[server] = now + cfg.service;
                     events.push(now + cfg.service, Event::Completion { req: ri, server });
+                    let picked = &tracked[ri].req;
+                    let (req_id, migrated) = (picked.id, picked.class == WriteClass::Migrated);
+                    emit(trace, || TraceEvent::BarrierDispatch {
+                        t: now.as_ns() / 1_000,
+                        policy: format!("{policy:?}"),
+                        req: req_id,
+                        migrated,
+                        boosted: rank == 0,
+                    });
                     dispatched = true;
                 }
             }

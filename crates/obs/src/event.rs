@@ -1,0 +1,252 @@
+//! Typed trace events.
+//!
+//! One enum covers every instrumented layer: device submit/complete and
+//! fault-gate outcomes, node-level retry/backoff and mirrored-write
+//! fallback, the five migration phase transitions, manager placement and
+//! imbalance decisions, and flash-controller barrier scheduling. Variants
+//! carry only plain data (integers, floats, short strings) so events can
+//! outlive the simulator state that produced them, and field names are kept
+//! short because golden trace files check these lines in verbatim.
+//!
+//! Serialized form is externally tagged JSON, one event per line:
+//!
+//! ```text
+//! {"IoSubmit":{"t":1000,"dev":"SSD","stream":3,"block":96,"len":8,"op":"W"}}
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Fault-gate outcome classes (mirrors `nvhsm_device::IoError`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Retryable error: the request failed but the device still responds.
+    Transient,
+    /// The device is inside an offline window; nothing can be served.
+    Offline,
+}
+
+/// Migration phase-transition classes, for filtering trace streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationPhase {
+    /// Copy began.
+    Start,
+    /// Copy paused because an endpoint went offline.
+    Suspend,
+    /// Copy resumed from the dirty-block bitmap.
+    Resume,
+    /// Migration gave up; dirty blocks rolled back to the source.
+    Abort,
+    /// Copy finished and the resident moved to the destination.
+    Cutover,
+}
+
+/// One structured trace event. All timestamps `t` are simulated
+/// nanoseconds except the barrier events, which use the flash
+/// controller's native microsecond clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A request entered a device (fault gate passed).
+    IoSubmit {
+        /// Simulated time, ns.
+        t: u64,
+        /// Device kind label (`NVDIMM` / `SSD` / `HDD`).
+        dev: String,
+        /// Workload stream id.
+        stream: u32,
+        /// First 4 KiB block.
+        block: u64,
+        /// Request length in blocks.
+        len: u32,
+        /// `R` or `W`.
+        op: String,
+    },
+    /// A request finished service on a device.
+    IoComplete {
+        /// Simulated time the request completed, ns.
+        t: u64,
+        /// Device kind label.
+        dev: String,
+        /// Workload stream id.
+        stream: u32,
+        /// Service latency, ns.
+        latency_ns: u64,
+    },
+    /// The fault gate rejected a request.
+    IoFault {
+        /// Simulated time, ns.
+        t: u64,
+        /// Device kind label.
+        dev: String,
+        /// Outcome class.
+        kind: FaultKind,
+    },
+    /// The node re-queued a failed request with backoff.
+    Retry {
+        /// Simulated time of the retry decision, ns.
+        t: u64,
+        /// Resident VMDK the request belongs to.
+        vmdk: u32,
+        /// 1-based retry attempt number.
+        attempt: u32,
+        /// Backoff delay before re-submission, ns.
+        backoff_ns: u64,
+    },
+    /// A mirrored write fell back to the migration source.
+    MirrorFallback {
+        /// Simulated time, ns.
+        t: u64,
+        /// Migrating VMDK.
+        vmdk: u32,
+        /// Device the write fell back to.
+        dst: String,
+    },
+    /// Migration copy began.
+    MigrationStart {
+        /// Simulated time, ns.
+        t: u64,
+        /// Migrating VMDK.
+        vmdk: u32,
+        /// Source datastore device label.
+        src: String,
+        /// Destination datastore device label.
+        dst: String,
+        /// Copy mode (`FullCopy` / `Mirror` / `Lazy`).
+        mode: String,
+        /// Total blocks to move.
+        blocks: u64,
+    },
+    /// Migration copy paused (endpoint offline).
+    MigrationSuspend {
+        /// Simulated time, ns.
+        t: u64,
+        /// Migrating VMDK.
+        vmdk: u32,
+        /// Blocks copied so far.
+        copied: u64,
+    },
+    /// Migration copy resumed from the dirty-block bitmap.
+    MigrationResume {
+        /// Simulated time, ns.
+        t: u64,
+        /// Migrating VMDK.
+        vmdk: u32,
+        /// Blocks still to copy.
+        remaining: u64,
+    },
+    /// Migration aborted; destination-only writes rolled back.
+    MigrationAbort {
+        /// Simulated time, ns.
+        t: u64,
+        /// Migrating VMDK.
+        vmdk: u32,
+        /// Dirty blocks written back to the source.
+        rolled_back: u64,
+    },
+    /// Migration finished; resident now lives on the destination.
+    MigrationCutover {
+        /// Simulated time, ns.
+        t: u64,
+        /// Migrated VMDK.
+        vmdk: u32,
+        /// Blocks moved by the copy engine.
+        copied: u64,
+        /// Writes mirrored to both endpoints during the copy.
+        mirrored: u64,
+        /// Stale-source writes recorded for lazy mode.
+        stale: u64,
+    },
+    /// Initial placement decision for a resident.
+    Placement {
+        /// Simulated time, ns.
+        t: u64,
+        /// Placed VMDK.
+        vmdk: u32,
+        /// Chosen datastore device label.
+        dst: String,
+    },
+    /// Eq. 5 imbalance evaluation at an epoch boundary.
+    ImbalanceTrigger {
+        /// Simulated time, ns.
+        t: u64,
+        /// Epoch ordinal.
+        epoch: u64,
+        /// Measured imbalance metric.
+        imbalance: f64,
+        /// Whether the threshold fired.
+        triggered: bool,
+        /// Whether a cost-benefit veto cancelled the migration.
+        vetoed: bool,
+    },
+    /// A degraded device's resident is being evacuated.
+    Evacuation {
+        /// Simulated time, ns.
+        t: u64,
+        /// Evacuated VMDK.
+        vmdk: u32,
+        /// Degraded source device label.
+        src: String,
+        /// Destination device label.
+        dst: String,
+    },
+    /// The flash scheduler dispatched a request past the barrier check.
+    BarrierDispatch {
+        /// Controller clock, µs.
+        t: u64,
+        /// Scheduling policy label (`baseline` / `p1` / `p2` / ...).
+        policy: String,
+        /// Request id.
+        req: u64,
+        /// `true` for migration-class requests.
+        migrated: bool,
+        /// `true` when the no-postponement barrier boosted a starved
+        /// migration request to the front.
+        boosted: bool,
+    },
+    /// Policy Two discarded a migration write aliased by a newer host
+    /// write.
+    BarrierDiscard {
+        /// Controller clock, µs.
+        t: u64,
+        /// Scheduling policy label.
+        policy: String,
+        /// Discarded request id.
+        req: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The migration phase this event represents, if it is one of the five
+    /// phase-transition events.
+    pub fn migration_phase(&self) -> Option<MigrationPhase> {
+        match self {
+            TraceEvent::MigrationStart { .. } => Some(MigrationPhase::Start),
+            TraceEvent::MigrationSuspend { .. } => Some(MigrationPhase::Suspend),
+            TraceEvent::MigrationResume { .. } => Some(MigrationPhase::Resume),
+            TraceEvent::MigrationAbort { .. } => Some(MigrationPhase::Abort),
+            TraceEvent::MigrationCutover { .. } => Some(MigrationPhase::Cutover),
+            _ => None,
+        }
+    }
+
+    /// Short kind label (`"IoSubmit"`, `"MigrationAbort"`, ...) for
+    /// filtering and metrics keys.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::IoSubmit { .. } => "IoSubmit",
+            TraceEvent::IoComplete { .. } => "IoComplete",
+            TraceEvent::IoFault { .. } => "IoFault",
+            TraceEvent::Retry { .. } => "Retry",
+            TraceEvent::MirrorFallback { .. } => "MirrorFallback",
+            TraceEvent::MigrationStart { .. } => "MigrationStart",
+            TraceEvent::MigrationSuspend { .. } => "MigrationSuspend",
+            TraceEvent::MigrationResume { .. } => "MigrationResume",
+            TraceEvent::MigrationAbort { .. } => "MigrationAbort",
+            TraceEvent::MigrationCutover { .. } => "MigrationCutover",
+            TraceEvent::Placement { .. } => "Placement",
+            TraceEvent::ImbalanceTrigger { .. } => "ImbalanceTrigger",
+            TraceEvent::Evacuation { .. } => "Evacuation",
+            TraceEvent::BarrierDispatch { .. } => "BarrierDispatch",
+            TraceEvent::BarrierDiscard { .. } => "BarrierDiscard",
+        }
+    }
+}

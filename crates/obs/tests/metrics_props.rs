@@ -1,0 +1,159 @@
+//! Property tests for the metrics layer: histogram algebra (merge
+//! associativity, quantile monotonicity, bucket-boundary resolution) and
+//! registry snapshot/restore round-trips.
+
+use nvhsm_obs::{MetricsRegistry, MetricsSnapshot};
+use nvhsm_sim::Histogram;
+use proptest::prelude::*;
+
+fn hist_of(xs: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &x in xs {
+        h.add(x);
+    }
+    h
+}
+
+/// The bucket-exact state of a histogram: count, quantiles and max are all
+/// integer/bucket arithmetic, so equality is exact. The Welford mean is
+/// checked separately with a floating tolerance (merge order perturbs the
+/// last bits).
+fn fingerprint(h: &Histogram) -> (u64, f64, f64, f64, Option<f64>) {
+    (h.count(), h.p50(), h.p95(), h.p99(), h.max())
+}
+
+fn mean_close(a: &Histogram, b: &Histogram) -> bool {
+    (a.mean() - b.mean()).abs() <= 1e-9 * (1.0 + a.mean().abs())
+}
+
+proptest! {
+    /// Merging in either association order yields the same histogram:
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn prop_histogram_merge_associative(
+        xs in proptest::collection::vec(0.5f64..1e7, 0..120),
+        ys in proptest::collection::vec(0.5f64..1e7, 0..120),
+        zs in proptest::collection::vec(0.5f64..1e7, 0..120),
+    ) {
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(fingerprint(&left), fingerprint(&right));
+        prop_assert!(mean_close(&left, &right));
+    }
+
+    /// Merging two histograms matches adding all samples to one.
+    #[test]
+    fn prop_histogram_merge_equals_sequential(
+        xs in proptest::collection::vec(0.5f64..1e7, 0..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(xs.len());
+        let mut merged = hist_of(&xs[..split]);
+        merged.merge(&hist_of(&xs[split..]));
+        let whole = hist_of(&xs);
+        prop_assert_eq!(fingerprint(&merged), fingerprint(&whole));
+        prop_assert!(mean_close(&merged, &whole));
+    }
+
+    /// Quantiles are monotone in p for any sample set, and p50/p95/p99 come
+    /// out ordered in the registry summary.
+    #[test]
+    fn prop_quantiles_monotone(
+        xs in proptest::collection::vec(1.0f64..1e8, 1..250),
+    ) {
+        let mut r = MetricsRegistry::new();
+        for &x in &xs {
+            r.observe("latency_us", "SSD", 0, x);
+        }
+        let s = &r.summaries()[0];
+        prop_assert!(s.p50 <= s.p95 && s.p95 <= s.p99, "{s:?}");
+        let h = r.histogram("latency_us", "SSD", 0).unwrap();
+        let mut last = 0.0;
+        for p in [0.0, 5.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            prop_assert!(v >= last, "p{p} gave {v} < {last}");
+            last = v;
+        }
+    }
+
+    /// A single sample sitting exactly on a log-bucket boundary
+    /// (`10^(k/80)`, the 80-buckets-per-decade edge) reads back within the
+    /// histogram's ~±1 bucket relative resolution from every quantile.
+    #[test]
+    fn prop_bucket_boundary_values_resolve(k in 0u32..560) {
+        let value = 10f64.powf(k as f64 / 80.0);
+        let mut h = Histogram::new();
+        h.add(value);
+        // One bucket spans a factor of 10^(1/80); boundary values may land
+        // on either side of the edge, so allow 1.5 bucket widths of error.
+        let tol = 10f64.powf(1.5 / 80.0);
+        for p in [1.0, 50.0, 99.0] {
+            let est = h.percentile(p);
+            prop_assert!(
+                est >= value / tol && est <= value * tol,
+                "boundary 10^({k}/80) = {value} estimated as {est} at p{p}"
+            );
+        }
+    }
+
+    /// snapshot → JSON → restore reproduces every counter, gauge and
+    /// histogram fingerprint.
+    #[test]
+    fn prop_registry_snapshot_restore_round_trip(
+        counters in proptest::collection::vec((0u32..4, 0u32..3, 1u64..1000), 0..12),
+        gauges in proptest::collection::vec((0u32..4, 0u32..3, -1e6f64..1e6), 0..12),
+        samples in proptest::collection::vec((0u32..2, 1.0f64..1e6), 0..60),
+    ) {
+        const NAMES: [&str; 4] = ["io_errors", "retries", "mirror_fallbacks", "imbalance"];
+        const DEVICES: [&str; 3] = ["NVDIMM", "SSD", "HDD"];
+        let mut r = MetricsRegistry::new();
+        for &(n, d, v) in &counters {
+            r.counter_add(NAMES[n as usize], DEVICES[d as usize], d, v);
+        }
+        for &(n, d, v) in &gauges {
+            r.gauge_set(NAMES[n as usize], DEVICES[d as usize], d, v);
+        }
+        for &(d, v) in &samples {
+            r.observe("latency_us", DEVICES[d as usize], 0, v);
+        }
+
+        let text = serde_json::to_string(&r.snapshot()).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        let restored = MetricsRegistry::restore(&back);
+
+        for &(n, d, _) in &counters {
+            prop_assert_eq!(
+                restored.counter(NAMES[n as usize], DEVICES[d as usize], d),
+                r.counter(NAMES[n as usize], DEVICES[d as usize], d)
+            );
+        }
+        for &(n, d, _) in &gauges {
+            prop_assert_eq!(
+                restored.gauge(NAMES[n as usize], DEVICES[d as usize], d),
+                r.gauge(NAMES[n as usize], DEVICES[d as usize], d)
+            );
+        }
+        for dev in DEVICES {
+            let (a, b) = (
+                r.histogram("latency_us", dev, 0),
+                restored.histogram("latency_us", dev, 0),
+            );
+            match (a, b) {
+                (Some(a), Some(b)) => prop_assert_eq!(fingerprint(a), fingerprint(b)),
+                (None, None) => {}
+                _ => prop_assert!(false, "histogram presence diverged for {}", dev),
+            }
+        }
+        // The report built from the restored registry is byte-identical.
+        prop_assert_eq!(
+            serde_json::to_string(&restored.report()).unwrap(),
+            serde_json::to_string(&r.report()).unwrap()
+        );
+    }
+}

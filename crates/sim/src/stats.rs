@@ -224,6 +224,24 @@ impl Histogram {
         self.stats.max().unwrap_or(0.0)
     }
 
+    /// Median latency (`percentile(50.0)`).
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th percentile (`percentile(95.0)`).
+    pub fn p95(&self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th percentile (`percentile(99.0)`).
+    ///
+    /// Every p99 the workspace reports is this one definition — harnesses
+    /// must not re-derive tail percentiles from raw sample sorts.
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates the golden trace files under tests/golden/ from the current
+# simulator behaviour, then replays the harness against the fresh goldens.
+#
+# Usage: scripts/regen_goldens.sh
+#
+# Run this to bless an *intended* migration-control-flow change; review the
+# resulting `git diff tests/golden` before committing — it shows exactly
+# which control-plane events moved. CI regenerates the goldens and fails on
+# any uncommitted diff, so stale goldens cannot merge.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== regenerating tests/golden/*.jsonl" >&2
+REGEN_GOLDENS=1 cargo test -q --test golden_traces
+
+echo "== verifying a clean replay against the fresh goldens" >&2
+cargo test -q --test golden_traces
+
+git --no-pager diff --stat -- tests/golden >&2 || true
+echo "== done; review 'git diff tests/golden' before committing" >&2

@@ -21,6 +21,10 @@
 //! * [`core`] — the storage manager: bus-contention-aware placement and
 //!   balancing, lazy migration, the BASIL/Pesto/LightSRM baselines, and
 //!   single-node/cluster simulation loops.
+//! * [`fault`] — deterministic fault-injection plans and per-device fault
+//!   schedules.
+//! * [`obs`] — structured trace events, pluggable sinks, and the metrics
+//!   registry (see `tests/golden_traces.rs` for the regression harness).
 //!
 //! # Quickstart
 //!
@@ -42,8 +46,10 @@
 pub use nvhsm_cache as cache;
 pub use nvhsm_core as core;
 pub use nvhsm_device as device;
+pub use nvhsm_fault as fault;
 pub use nvhsm_flash as flash;
 pub use nvhsm_mem as mem;
 pub use nvhsm_model as model;
+pub use nvhsm_obs as obs;
 pub use nvhsm_sim as sim;
 pub use nvhsm_workload as workload;

@@ -1,0 +1,177 @@
+//! Golden-trace regression harness.
+//!
+//! Each scenario drives a deterministic node simulation with a trace sink
+//! attached, filters the capture down to the control-plane events (migration
+//! phase transitions, mirrored-write fallbacks, evacuations), renders them
+//! as JSONL and compares byte-for-byte against a checked-in golden file in
+//! `tests/golden/`. The simulator is deterministic, so any diff means the
+//! *behaviour* changed — the golden diff shows exactly which migration
+//! decision moved.
+//!
+//! To bless an intended behaviour change, run `scripts/regen_goldens.sh`
+//! (or `REGEN_GOLDENS=1 cargo test --test golden_traces`) and commit the
+//! updated files; CI regenerates and `git diff --exit-code`s them.
+
+use nvdimm_hsm::core::{
+    DatastoreId, MigrationDecision, MigrationMode, NodeConfig, NodeSim, PolicyKind, VmdkId,
+};
+use nvdimm_hsm::fault::{DeviceFaultSchedule, FaultKind, FaultPlan, FaultWindow};
+use nvdimm_hsm::obs::{drain_ring, shared, to_jsonl, RingSink, TraceEvent};
+use nvdimm_hsm::sim::{SimDuration, SimTime};
+use nvdimm_hsm::workload::hibench::{profile, Benchmark};
+use std::path::PathBuf;
+
+/// Event kinds that form the compact control-plane trace: rare, decision-
+/// level transitions (not per-I/O traffic), so goldens stay reviewable.
+const CONTROL_KINDS: [&str; 7] = [
+    "MigrationStart",
+    "MigrationSuspend",
+    "MigrationResume",
+    "MigrationAbort",
+    "MigrationCutover",
+    "MirrorFallback",
+    "Evacuation",
+];
+
+fn control_plane(events: Vec<TraceEvent>) -> Vec<TraceEvent> {
+    events
+        .into_iter()
+        .filter(|e| CONTROL_KINDS.contains(&e.kind()))
+        .collect()
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.jsonl"))
+}
+
+/// Compares the rendered events against the golden file, or rewrites the
+/// golden when `REGEN_GOLDENS` is set.
+fn check_golden(name: &str, events: &[TraceEvent]) {
+    let path = golden_path(name);
+    let rendered = to_jsonl(events);
+    if std::env::var_os("REGEN_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nrun scripts/regen_goldens.sh to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, expected,
+        "golden trace {name} diverged — the migration control flow changed.\n\
+         If the change is intended, bless it with scripts/regen_goldens.sh"
+    );
+}
+
+fn quick_cfg(policy: PolicyKind) -> NodeConfig {
+    let mut cfg = NodeConfig::small();
+    cfg.policy = policy;
+    cfg.train_requests = 30;
+    cfg
+}
+
+/// Builds the shared fault scenario: a Pagerank resident on the HDD, a
+/// forced migration HDD → SSD at t=400 ms, and the SSD offline over
+/// `outage`. `mode` selects the migration flavour under test.
+fn run_outage_scenario(
+    mode: MigrationMode,
+    outage: (u64, u64),
+    abort_grace_ms: Option<u64>,
+) -> Vec<TraceEvent> {
+    let schedules = vec![
+        DeviceFaultSchedule::healthy(),
+        DeviceFaultSchedule::from_windows(vec![FaultWindow {
+            from: SimTime::from_ms(outage.0),
+            until: SimTime::from_ms(outage.1),
+            kind: FaultKind::Offline,
+        }]),
+        DeviceFaultSchedule::healthy(),
+    ];
+    let mut cfg = quick_cfg(PolicyKind::Bca);
+    cfg.faults = Some(FaultPlan::from_schedules(schedules, 3));
+    cfg.degraded_cooldown = SimDuration::from_ms(200);
+    // Keep the balancer quiet so the forced migration below is the only one
+    // in flight — the golden then isolates the fault path under test.
+    cfg.tau = 1.0;
+    if let Some(ms) = abort_grace_ms {
+        cfg.abort_grace = SimDuration::from_ms(ms);
+    }
+    let mut sim = NodeSim::new(cfg, 5);
+    let sink = shared(RingSink::new(1 << 16));
+    sim.set_trace_sink(Some(sink.clone()));
+    sim.add_workload_on(profile(Benchmark::Pagerank).with_working_set(20_000), 2);
+    sim.run(SimDuration::from_ms(400));
+    sim.start_migration(MigrationDecision {
+        vmdk: VmdkId(0),
+        src: DatastoreId(2),
+        dst: DatastoreId(1),
+        mode,
+    });
+    sim.run(SimDuration::from_secs(4));
+    control_plane(drain_ring(&sink))
+}
+
+#[test]
+fn golden_resume_from_bitmap() {
+    // A short outage (within the abort grace): the lazy migration suspends
+    // when the destination rejects its copy writes, resumes from its bitmap
+    // once the device recovers, and finishes the cutover.
+    let events = run_outage_scenario(MigrationMode::Lazy, (600, 900), None);
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+    assert_eq!(kinds.first(), Some(&"MigrationStart"), "{kinds:?}");
+    assert!(kinds.contains(&"MigrationSuspend"), "{kinds:?}");
+    assert!(kinds.contains(&"MigrationResume"), "{kinds:?}");
+    check_golden("resume_from_bitmap", &events);
+}
+
+#[test]
+fn golden_abort_with_rollback() {
+    // A long outage (past the abort grace): the suspended migration is
+    // aborted at the next management epoch and its dirty blocks — mirrored
+    // writes whose only copy sits at the destination — rolled back to the
+    // source. Mirror mode so the 400–600 ms window accumulates dirty blocks.
+    let events = run_outage_scenario(MigrationMode::Mirror, (600, 2_400), Some(150));
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+    assert_eq!(kinds.first(), Some(&"MigrationStart"), "{kinds:?}");
+    assert!(kinds.contains(&"MigrationAbort"), "{kinds:?}");
+    let rolled_back = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::MigrationAbort { rolled_back, .. } => Some(*rolled_back),
+            _ => None,
+        })
+        .max()
+        .expect("abort event present");
+    assert!(rolled_back > 0, "abort rolled nothing back: {events:?}");
+    check_golden("abort_with_rollback", &events);
+}
+
+#[test]
+fn golden_mirror_fallback() {
+    // Mirror-mode migration with the destination dropping offline: mirrored
+    // writes fail on the destination and fall back to the source copy,
+    // suspending the migration instead of losing the write.
+    // The outage is timed so a mirrored workload write — not the background
+    // copier — is the first I/O to hit the dead destination.
+    let events = run_outage_scenario(MigrationMode::Mirror, (650, 950), None);
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+    assert_eq!(kinds.first(), Some(&"MigrationStart"), "{kinds:?}");
+    assert!(kinds.contains(&"MirrorFallback"), "{kinds:?}");
+    assert!(kinds.contains(&"MigrationSuspend"), "{kinds:?}");
+    check_golden("mirror_fallback", &events);
+}
+
+#[test]
+fn golden_traces_are_deterministic() {
+    // The premise of the harness: replaying a scenario reproduces the
+    // byte-identical event sequence.
+    let a = to_jsonl(&run_outage_scenario(MigrationMode::Lazy, (600, 900), None));
+    let b = to_jsonl(&run_outage_scenario(MigrationMode::Lazy, (600, 900), None));
+    assert_eq!(a, b);
+}
