@@ -1,10 +1,15 @@
 //! Multi-node cluster simulation (the paper's "multiple nodes" tests).
 //!
 //! Three server nodes — each with NVDIMM + SSD + HDD, as in Fig. 1 — share
-//! one storage manager; VMDKs can migrate across nodes over the NIC model.
-//! This is a thin convenience wrapper over [`NodeSim::with_nodes`].
+//! one storage manager; VMDKs migrate across nodes over the interconnect
+//! in [`crate::net`]: copy rounds and mirrored writes traverse a modeled
+//! full-duplex link (configurable bandwidth, latency and in-flight window,
+//! FIFO contention), and the manager folds the hop cost into its placement
+//! and balancing arithmetic. This is a thin convenience wrapper over
+//! [`NodeSim::with_nodes`], adding per-link statistics to the report.
 
-use crate::node::{NodeConfig, NodeReport, NodeSim};
+use crate::net::NodeLinkStats;
+use crate::node::{NodeConfig, NodeReport, NodeSim, PlacementError};
 use crate::policy::PolicyKind;
 use crate::vmdk::VmdkId;
 use nvhsm_sim::SimDuration;
@@ -49,9 +54,22 @@ pub struct ClusterReport {
     pub report: NodeReport,
     /// Number of nodes.
     pub nodes: usize,
+    /// Per-node interconnect statistics (both directions of each link).
+    pub links: Vec<NodeLinkStats>,
 }
 
 impl ClusterReport {
+    /// The busiest link direction's utilization over a measured window of
+    /// `span`: max over nodes and directions of busy-time / span.
+    pub fn max_link_utilization(&self, span: SimDuration) -> f64 {
+        let span_ns = span.as_ns().max(1) as f64;
+        self.links
+            .iter()
+            .flat_map(|l| [l.tx.busy, l.rx.busy])
+            .map(|busy| busy.as_ns() as f64 / span_ns)
+            .fold(0.0, f64::max)
+    }
+
     /// Mean device latency per node, µs.
     pub fn per_node_mean_latency_us(&self) -> Vec<f64> {
         (0..self.nodes)
@@ -109,9 +127,24 @@ impl ClusterSim {
         self.inner.add_workload(profile)
     }
 
-    /// Adds a workload using the policy's initial placement.
-    pub fn add_workload_placed(&mut self, profile: WorkloadProfile) -> VmdkId {
+    /// Adds a workload using the policy's initial placement. Rejected
+    /// admissions surface as a [`PlacementError`] and are counted in the
+    /// report.
+    pub fn add_workload_placed(
+        &mut self,
+        profile: WorkloadProfile,
+    ) -> Result<VmdkId, PlacementError> {
         self.inner.add_workload_placed(profile)
+    }
+
+    /// Adds a workload whose compute runs on `home` node; Eq. 4 charges
+    /// remote candidates the interconnect hop.
+    pub fn add_workload_placed_from(
+        &mut self,
+        profile: WorkloadProfile,
+        home: usize,
+    ) -> Result<VmdkId, PlacementError> {
+        self.inner.add_workload_placed_from(profile, Some(home))
     }
 
     /// The wrapped engine.
@@ -129,6 +162,7 @@ impl ClusterSim {
         ClusterReport {
             report: self.inner.run(span),
             nodes: self.nodes,
+            links: self.inner.link_stats(),
         }
     }
 }

@@ -20,8 +20,10 @@
 //! * [`node`] — [`NodeSim`]: one server node with NVDIMM + SSD + HDD,
 //!   big-data workloads, SPEC-like memory interference, and a management
 //!   loop.
+//! * [`net`] — the deterministic cluster interconnect: one full-duplex
+//!   link per node with FIFO contention and a bounded in-flight window.
 //! * [`cluster`] — [`ClusterSim`]: multiple nodes with cross-node
-//!   migrations over a NIC model.
+//!   migrations over the [`net`] interconnect.
 //!
 //! # Examples
 //!
@@ -41,6 +43,7 @@ pub mod cluster;
 pub mod datastore;
 pub mod manager;
 pub mod migration;
+pub mod net;
 pub mod node;
 pub mod policy;
 pub mod training;
@@ -48,9 +51,10 @@ pub mod vmdk;
 
 pub use cluster::{ClusterConfig, ClusterReport, ClusterSim};
 pub use datastore::{Datastore, DatastoreId};
-pub use manager::{Manager, MigrationDecision};
+pub use manager::{Manager, MigrationDecision, NetworkCosts};
 pub use migration::{Bitmap, MigrationMode};
-pub use node::{MigrationEvent, NodeConfig, NodeReport, NodeSim};
+pub use net::{Interconnect, LinkStats, NicConfig, NodeLinkStats};
+pub use node::{MigrationEvent, NodeConfig, NodeReport, NodeSim, PlacementError};
 pub use policy::PolicyKind;
 pub use training::pretrain_models;
 pub use vmdk::{Vmdk, VmdkId};

@@ -79,6 +79,9 @@ impl std::fmt::Display for DeviceHealth {
 pub struct DeviceObservation {
     /// Which datastore.
     pub ds: DatastoreId,
+    /// Node the datastore lives on. Moves between datastores on different
+    /// nodes pay the interconnect hop in every what-if estimate.
+    pub node: usize,
     /// Device tier.
     pub kind: DeviceKind,
     /// Epoch statistics from the device.
@@ -134,12 +137,26 @@ pub struct EpochDiagnostics {
     pub vetoed: bool,
 }
 
+/// Interconnect cost terms the manager folds into cross-node what-if
+/// estimates. Both default to zero, which reproduces the node-local
+/// behaviour exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetworkCosts {
+    /// Extra per-request latency of serving I/O across the interconnect,
+    /// µs (one-way propagation plus the wire time of a typical request).
+    pub hop_us: f64,
+    /// Interconnect transfer time per migrated 4 KiB block, µs (the Eq. 6
+    /// network term).
+    pub per_block_us: f64,
+}
+
 /// The storage manager.
 #[derive(Debug)]
 pub struct Manager {
     policy: PolicyKind,
     tau: f64,
     models: DeviceModels,
+    net: NetworkCosts,
     last_diagnostics: EpochDiagnostics,
     /// Consecutive epochs the imbalance threshold has been exceeded.
     /// Short epochs are statistically noisy (the paper samples 30-minute
@@ -159,8 +176,29 @@ impl Manager {
             policy,
             tau,
             models,
+            net: NetworkCosts::default(),
             last_diagnostics: EpochDiagnostics::default(),
             consecutive_triggers: 1, // first call may act immediately
+        }
+    }
+
+    /// Sets the interconnect cost terms for cross-node what-if estimates.
+    pub fn set_network(&mut self, net: NetworkCosts) {
+        self.net = net;
+    }
+
+    /// The interconnect cost terms in force.
+    pub fn network(&self) -> NetworkCosts {
+        self.net
+    }
+
+    /// The hop penalty of serving `from`'s resident from `to`'s datastore:
+    /// zero when both share a node.
+    fn hop_us(&self, from_node: usize, to: &DeviceObservation) -> f64 {
+        if to.node != from_node {
+            self.net.hop_us
+        } else {
+            0.0
         }
     }
 
@@ -282,7 +320,16 @@ impl Manager {
             .iter()
             .map(|o| {
                 if o.counts_for_imbalance() {
-                    self.device_perf_us(o)
+                    // A zero-IO epoch can feed the model NaN features (0/0
+                    // rates); a non-finite or negative prediction carries no
+                    // Eq. 5 signal and must not poison Δ/max, which stays in
+                    // [0, 1] by construction.
+                    let p = self.device_perf_us(o);
+                    if p.is_finite() {
+                        p.max(0.0)
+                    } else {
+                        0.0
+                    }
                 } else {
                     // Idle or degraded/offline stores contribute no Eq. 5
                     // signal; degraded ones are handled by evacuation, not
@@ -298,7 +345,7 @@ impl Manager {
         let (max_i, max_p) = perfs
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite perf"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, &p)| (i, p))?;
         // Δ is computed over *loaded* devices; an idle tier is a candidate
         // destination, not a counted imbalance (otherwise any load at all
@@ -342,15 +389,20 @@ impl Manager {
             .iter()
             .filter(|r| r.io_count > 0)
             .collect();
+        // total_cmp, not partial_cmp: a resident whose measured latency is
+        // NaN (no completed requests) must sort deterministically instead
+        // of panicking the whole epoch.
         candidates.sort_by(|a, b| {
             (b.io_count as f64 * b.mean_latency_us)
-                .partial_cmp(&(a.io_count as f64 * a.mean_latency_us))
-                .expect("finite contribution")
+                .total_cmp(&(a.io_count as f64 * a.mean_latency_us))
         });
         for w in candidates {
             // Destination: the device whose predicted latency after receiving
             // the workload is lowest (Eq. 4's minimum-average criterion reduces
-            // to this for a single move).
+            // to this for a single move). Remote datastores are candidates
+            // too, with the interconnect hop folded into their what-if cost;
+            // NaN estimates compare greatest under total_cmp, so they lose
+            // to any finite candidate instead of panicking.
             let dst = observations
                 .iter()
                 .filter(|o| {
@@ -358,9 +410,14 @@ impl Manager {
                         && o.health.available()
                         && o.free_capacity_blocks >= w.size_blocks
                 })
-                .map(|o| (o, self.what_if_us(o, w, true)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite what-if"));
-            let Some((dst_obs, _)) = dst else {
+                .map(|o| {
+                    (
+                        o,
+                        self.what_if_us(o, w, true) + self.hop_us(src_obs.node, o),
+                    )
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+            let Some((dst_obs, dst_after)) = dst else {
                 continue;
             };
 
@@ -375,8 +432,10 @@ impl Manager {
             } else {
                 w.mean_latency_us
             };
+            // `dst_after` already carries the hop for remote destinations,
+            // so Eq. 7's benefit shrinks by the recurring network cost of
+            // serving the workload from the other node.
             let src_after = self.what_if_us(src_obs, w, false);
-            let dst_after = self.what_if_us(dst_obs, w, true);
 
             let accept = if self.policy.cost_benefit() {
                 let unit = UnitCosts {
@@ -384,6 +443,11 @@ impl Manager {
                     dst_write_us: per_block_write_us(dst_obs, &self.models),
                     src_contention_us: self.contention_us(src_obs),
                     dst_contention_us: self.contention_us(dst_obs),
+                    net_us: if dst_obs.node != src_obs.node {
+                        self.net.per_block_us
+                    } else {
+                        0.0
+                    },
                 };
                 let moved = if self.policy.mirroring() {
                     // Mirroring avoids copying blocks the workload will
@@ -447,12 +511,31 @@ impl Manager {
         observations: &[DeviceObservation],
         new_workload: &ResidentInfo,
     ) -> Option<DatastoreId> {
+        self.initial_placement_from(observations, new_workload, None)
+    }
+
+    /// Eq. 4 placement of a workload arriving at `home` node: remote
+    /// datastores stay eligible, but pay the interconnect hop on top of
+    /// their what-if estimate. `home = None` ignores node boundaries (the
+    /// single-node behaviour).
+    pub fn initial_placement_from(
+        &self,
+        observations: &[DeviceObservation],
+        new_workload: &ResidentInfo,
+        home: Option<usize>,
+    ) -> Option<DatastoreId> {
         let mut best: Option<(DatastoreId, f64)> = None;
         for (i, obs) in observations.iter().enumerate() {
             if !obs.health.available() || obs.free_capacity_blocks < new_workload.size_blocks {
                 continue;
             }
-            let with_new = self.what_if_us(obs, new_workload, true);
+            let with_new = self.what_if_us(obs, new_workload, true)
+                + home.map_or(0.0, |h| self.hop_us(h, obs));
+            if !with_new.is_finite() {
+                // The model has no usable estimate for this candidate;
+                // placing on it would be a blind bet.
+                continue;
+            }
             // Average system performance if placed here (Eq. 4).
             let mut total = 0.0;
             let mut norms = Vec::with_capacity(observations.len());
@@ -460,7 +543,13 @@ impl Manager {
                 let p = if j == i {
                     with_new
                 } else if other.health.available() {
-                    self.device_perf_us(other)
+                    // A NaN estimate (zero-IO epoch) contributes no signal.
+                    let p = self.device_perf_us(other);
+                    if p.is_finite() {
+                        p
+                    } else {
+                        0.0
+                    }
                 } else {
                     // A degraded store's measured latency reflects its
                     // faults; it neither helps nor hurts a placement
@@ -518,6 +607,9 @@ impl Manager {
             let mut residents: Vec<&ResidentInfo> = src_obs.residents.iter().collect();
             residents.sort_by_key(|r| std::cmp::Reverse(r.io_count));
             for w in residents {
+                // Remote destinations are eligible (fleeing a flapping
+                // store beats staying local) but pay the hop, and NaN
+                // what-ifs lose under total_cmp instead of panicking.
                 let dst = observations
                     .iter()
                     .filter(|o| {
@@ -525,8 +617,13 @@ impl Manager {
                             && o.health.available()
                             && o.free_capacity_blocks >= w.size_blocks
                     })
-                    .map(|o| (o, self.what_if_us(o, w, true)))
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite what-if"));
+                    .map(|o| {
+                        (
+                            o,
+                            self.what_if_us(o, w, true) + self.hop_us(src_obs.node, o),
+                        )
+                    })
+                    .min_by(|a, b| a.1.total_cmp(&b.1));
                 if let Some((dst_obs, _)) = dst {
                     return Some(MigrationDecision {
                         vmdk: w.vmdk,
@@ -585,6 +682,7 @@ mod tests {
     ) -> DeviceObservation {
         DeviceObservation {
             ds: DatastoreId(ds),
+            node: 0,
             kind,
             epoch: epoch_with(ios, latency_us),
             free_space: 0.5,
@@ -836,6 +934,173 @@ mod tests {
         let mut other = obs(1, DeviceKind::Hdd, 0.0, 0, vec![]);
         other.health = DeviceHealth::Degraded;
         assert!(m.evacuation_decision(&[flapping, other]).is_none());
+    }
+
+    #[test]
+    fn nan_perf_prediction_does_not_panic_epoch_decision() {
+        // A zero-IO observation can produce NaN feature rates and hence a
+        // NaN perf prediction / NaN resident latency. The epoch decision
+        // must survive (total_cmp + sanitization), not panic.
+        for policy in [PolicyKind::Basil, PolicyKind::Bca] {
+            let mut m = manager(policy);
+            let mut poisoned = resident(0, f64::NAN, 50);
+            poisoned.features.oios = f64::NAN;
+            let o = vec![
+                obs(
+                    0,
+                    DeviceKind::Nvdimm,
+                    800.0,
+                    50,
+                    vec![poisoned, resident(1, 800.0, 40)],
+                ),
+                obs(1, DeviceKind::Ssd, 0.0, 0, vec![]),
+            ];
+            let _ = m.epoch_decision(&o, false);
+            let _ = m.epoch_decision(&o, false);
+            let d = m.last_diagnostics();
+            assert!(
+                (0.0..=1.0).contains(&d.imbalance),
+                "{policy:?}: imbalance {}",
+                d.imbalance
+            );
+        }
+    }
+
+    #[test]
+    fn remote_destination_pays_the_hop() {
+        // A severely hot NVDIMM (so the accept gate is easy), an idle local
+        // HDD and an idle remote SSD. Hop-free the faster remote tier wins
+        // the destination what-if; a steep hop keeps the move on-node.
+        let scenario = || {
+            let mut remote = obs(2, DeviceKind::Ssd, 0.0, 0, vec![]);
+            remote.node = 1;
+            vec![
+                obs(
+                    0,
+                    DeviceKind::Nvdimm,
+                    500_000.0,
+                    50,
+                    vec![resident(0, 500_000.0, 50)],
+                ),
+                obs(1, DeviceKind::Hdd, 0.0, 0, vec![]),
+                remote,
+            ]
+        };
+        let mut free = manager(PolicyKind::Basil);
+        let d = free
+            .epoch_decision(&scenario(), false)
+            .unwrap_or_else(|| panic!("migrates: {:?}", free.last_diagnostics()));
+        assert_eq!(d.dst, DatastoreId(2), "free network: remote SSD wins");
+
+        let mut tolled = manager(PolicyKind::Basil);
+        tolled.set_network(NetworkCosts {
+            hop_us: 1e6,
+            per_block_us: 0.0,
+        });
+        let d = tolled
+            .epoch_decision(&scenario(), false)
+            .unwrap_or_else(|| panic!("migrates: {:?}", tolled.last_diagnostics()));
+        assert_eq!(d.dst, DatastoreId(1), "steep hop: local HDD wins");
+    }
+
+    #[test]
+    fn initial_placement_from_prefers_home_when_hop_is_steep() {
+        let mut m = manager(PolicyKind::Bca);
+        let mut remote = obs(1, DeviceKind::Nvdimm, 0.0, 0, vec![]);
+        remote.node = 1;
+        let o = vec![obs(0, DeviceKind::Ssd, 0.0, 0, vec![]), remote];
+        let w = resident(9, 0.0, 0);
+        // Hop-free, the remote NVDIMM is the better tier.
+        assert_eq!(
+            m.initial_placement_from(&o, &w, Some(0)),
+            Some(DatastoreId(1))
+        );
+        // With a steep hop, Eq. 4 keeps the workload on its home node.
+        m.set_network(NetworkCosts {
+            hop_us: 1e6,
+            per_block_us: 0.0,
+        });
+        assert_eq!(
+            m.initial_placement_from(&o, &w, Some(0)),
+            Some(DatastoreId(0))
+        );
+        // Without a home node the hop never applies.
+        assert_eq!(m.initial_placement(&o, &w), Some(DatastoreId(1)));
+    }
+
+    #[test]
+    fn network_cost_gates_cross_node_migration() {
+        let nv_baseline = manager(PolicyKind::Bca)
+            .models()
+            .baseline_us(DeviceKind::Nvdimm);
+        let scenario = || {
+            let mut r = resident(0, nv_baseline * 20.0, 500);
+            r.live_blocks = 40_000;
+            let mut remote = obs(1, DeviceKind::Ssd, 0.0, 0, vec![]);
+            remote.node = 1;
+            vec![
+                obs(0, DeviceKind::Nvdimm, nv_baseline * 20.0, 500, vec![r]),
+                remote,
+            ]
+        };
+        let mut free = manager(PolicyKind::Bca);
+        assert!(
+            free.epoch_decision(&scenario(), false).is_some(),
+            "without network costs the move passes Eq. 6/7"
+        );
+        let mut tolled = manager(PolicyKind::Bca);
+        tolled.set_network(NetworkCosts {
+            hop_us: 0.0,
+            per_block_us: 1e6,
+        });
+        assert!(
+            tolled.epoch_decision(&scenario(), false).is_none(),
+            "a slow wire makes the same move cost-prohibitive"
+        );
+        assert!(tolled.last_diagnostics().vetoed);
+    }
+
+    proptest::proptest! {
+        /// Δ/max stays inside [0, 1] for arbitrary observation sets — the
+        /// loaded-vs-idle logic can never produce a negative or >1 reading,
+        /// even with unloaded, degraded or NaN-afflicted stores in the mix.
+        #[test]
+        fn prop_imbalance_always_in_unit_interval(
+            devices in proptest::collection::vec(
+                (0.0f64..50_000.0, 0u64..120, 0u8..3, 0u8..3, 0u8..2),
+                1..6,
+            ),
+        ) {
+            for policy in [PolicyKind::Basil, PolicyKind::Bca] {
+                let mut m = manager(policy);
+                let o: Vec<DeviceObservation> = devices
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(latency, ios, kind, health, node))| {
+                        let kind = match kind {
+                            0 => DeviceKind::Nvdimm,
+                            1 => DeviceKind::Ssd,
+                            _ => DeviceKind::Hdd,
+                        };
+                        let mut d = obs(i, kind, latency, ios, vec![resident(i as u32, latency, ios)]);
+                        d.health = match health {
+                            0 => DeviceHealth::Healthy,
+                            1 => DeviceHealth::Degraded,
+                            _ => DeviceHealth::Offline,
+                        };
+                        d.node = node as usize;
+                        d
+                    })
+                    .collect();
+                let _ = m.epoch_decision(&o, false);
+                let _ = m.epoch_decision(&o, false);
+                let imbalance = m.last_diagnostics().imbalance;
+                proptest::prop_assert!(
+                    (0.0..=1.0).contains(&imbalance),
+                    "{:?}: imbalance {} out of [0,1]", policy, imbalance
+                );
+            }
+        }
     }
 
     #[test]

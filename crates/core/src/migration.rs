@@ -193,12 +193,20 @@ pub struct UnitCosts {
     pub src_contention_us: f64,
     /// Bus-contention time per block at the destination (`t_BC_dst`).
     pub dst_contention_us: f64,
+    /// Interconnect transfer time per block; zero when source and
+    /// destination share a node.
+    pub net_us: f64,
 }
 
-/// Eq. 6: total migration cost in µs for moving `blocks` blocks.
+/// Eq. 6: total migration cost in µs for moving `blocks` blocks. The
+/// network term extends the paper's node-local formula to cross-node moves.
 pub fn migration_cost_us(blocks: u64, unit: &UnitCosts) -> f64 {
     blocks as f64
-        * (unit.src_read_us + unit.dst_write_us + unit.src_contention_us + unit.dst_contention_us)
+        * (unit.src_read_us
+            + unit.dst_write_us
+            + unit.src_contention_us
+            + unit.dst_contention_us
+            + unit.net_us)
 }
 
 /// Eq. 7: benefit in µs of a migration that improves the per-unit
@@ -245,6 +253,9 @@ pub struct ActiveMigration {
     pub invalidated_blocks: u64,
     /// Times the migration resumed from its bitmap after a suspension.
     pub resumes: u64,
+    /// Blocks this migration put on the cross-node interconnect (copy
+    /// rounds and mirrored writes; zero for node-local moves).
+    pub net_blocks: u64,
 }
 
 impl ActiveMigration {
@@ -272,6 +283,7 @@ impl ActiveMigration {
             suspended_at: None,
             invalidated_blocks: 0,
             resumes: 0,
+            net_blocks: 0,
         }
     }
 
@@ -441,8 +453,15 @@ mod tests {
             dst_write_us: 15.0,
             src_contention_us: 20.0,
             dst_contention_us: 0.0,
+            net_us: 0.0,
         };
         assert_eq!(migration_cost_us(1000, &unit), 95_000.0);
+        // A cross-node move pays the wire on top of the endpoints.
+        let remote = UnitCosts {
+            net_us: 5.0,
+            ..unit
+        };
+        assert_eq!(migration_cost_us(1000, &remote), 100_000.0);
         assert_eq!(migration_benefit_us(1000, 150.0, 100.0), 50_000.0);
         // A migration that worsens latency has negative benefit.
         assert!(migration_benefit_us(10, 100.0, 120.0) < 0.0);

@@ -1,0 +1,268 @@
+//! Deterministic NIC/interconnect model for cross-node migration traffic.
+//!
+//! Every node owns one full-duplex link: an independent transmit and
+//! receive direction, each with the configured bandwidth. A transfer from
+//! node A to node B occupies A's TX direction and B's RX direction for
+//! `bytes / bandwidth`, then arrives one propagation latency later; the
+//! reverse directions stay free, so A←B traffic does not contend with A→B.
+//!
+//! Contention is FIFO: a transfer starts no earlier than the previous one
+//! finished on either direction it uses, so concurrent migrations over the
+//! same link serialize in submission order. On top of the wire-occupancy
+//! serialization, each sender bounds its *in-flight window*: at most
+//! [`NicConfig::window`] transfers may be underway (sent but not yet
+//! arrived) per TX direction — with near-infinite bandwidth this is what
+//! keeps a sender from having unboundedly many latency-delayed transfers
+//! outstanding.
+//!
+//! The model is a pure function of its call sequence — no clocks, no
+//! randomness — so simulations that route traffic through it stay
+//! byte-identical across worker counts and replays.
+
+use nvhsm_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Per-node NIC parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NicConfig {
+    /// Link bandwidth per direction, bytes/s. `u64::MAX` models an
+    /// effectively infinite link (transfer time rounds to zero).
+    pub bandwidth: u64,
+    /// One-way propagation latency added after the wire occupancy.
+    pub latency: SimDuration,
+    /// Bounded in-flight window: transfers sent but not yet arrived per TX
+    /// direction. Values below 1 behave as 1.
+    pub window: u32,
+}
+
+/// Cumulative traffic counters of one link direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Payload bytes carried.
+    pub bytes: u64,
+    /// Transfers carried.
+    pub transfers: u64,
+    /// Total wire-occupancy time (propagation latency excluded).
+    pub busy: SimDuration,
+}
+
+/// Both directions of one node's link, for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeLinkStats {
+    /// Node index.
+    pub node: usize,
+    /// Transmit direction (traffic leaving this node).
+    pub tx: LinkStats,
+    /// Receive direction (traffic arriving at this node).
+    pub rx: LinkStats,
+}
+
+/// One direction of a full-duplex link.
+#[derive(Debug, Clone, Default)]
+struct Direction {
+    busy_until: SimTime,
+    /// Arrival times of transfers sent but possibly not yet arrived
+    /// (TX side only; pruned lazily against the next transfer's start).
+    inflight: VecDeque<SimTime>,
+    stats: LinkStats,
+}
+
+/// The cluster interconnect: one full-duplex link per node.
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    cfg: NicConfig,
+    tx: Vec<Direction>,
+    rx: Vec<Direction>,
+}
+
+impl Interconnect {
+    /// Builds the interconnect for `nodes` nodes.
+    pub fn new(cfg: NicConfig, nodes: usize) -> Self {
+        Interconnect {
+            cfg,
+            tx: vec![Direction::default(); nodes],
+            rx: vec![Direction::default(); nodes],
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> NicConfig {
+        self.cfg
+    }
+
+    /// Wire-occupancy time of a `bytes`-sized transfer.
+    pub fn wire_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_ns_f64(bytes as f64 * 1e9 / self.cfg.bandwidth as f64)
+    }
+
+    /// Sends `bytes` from `src` to `dst` starting no earlier than `at`;
+    /// returns the arrival time at `dst`. Same-node transfers are free and
+    /// unrecorded (`at` is returned unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is not a known node.
+    pub fn transfer(&mut self, src: usize, dst: usize, bytes: u64, at: SimTime) -> SimTime {
+        if src == dst {
+            return at;
+        }
+        let mut start = at.max(self.tx[src].busy_until).max(self.rx[dst].busy_until);
+        let window = self.cfg.window.max(1) as usize;
+        let q = &mut self.tx[src].inflight;
+        while q.front().is_some_and(|&arrived| arrived <= start) {
+            q.pop_front();
+        }
+        if q.len() >= window {
+            // The window is full: wait for the oldest outstanding transfer
+            // to arrive before putting another one on the wire.
+            let oldest = q.pop_front().expect("window > 0 implies non-empty");
+            start = start.max(oldest);
+        }
+        let dur = self.wire_time(bytes);
+        let end = start + dur;
+        let arrival = end + self.cfg.latency;
+        self.tx[src].busy_until = end;
+        self.rx[dst].busy_until = end;
+        self.tx[src].inflight.push_back(arrival);
+        for stats in [&mut self.tx[src].stats, &mut self.rx[dst].stats] {
+            stats.bytes += bytes;
+            stats.transfers += 1;
+            stats.busy += dur;
+        }
+        arrival
+    }
+
+    /// Per-node cumulative link statistics.
+    pub fn link_stats(&self) -> Vec<NodeLinkStats> {
+        self.tx
+            .iter()
+            .zip(&self.rx)
+            .enumerate()
+            .map(|(node, (tx, rx))| NodeLinkStats {
+                node,
+                tx: tx.stats,
+                rx: rx.stats,
+            })
+            .collect()
+    }
+
+    /// Total payload bytes carried (each transfer counted once, on its TX
+    /// side).
+    pub fn total_bytes(&self) -> u64 {
+        self.tx.iter().map(|d| d.stats.bytes).sum()
+    }
+
+    /// Zeroes the traffic counters while keeping the queueing state, so a
+    /// measured window excludes warm-up traffic without forgetting that the
+    /// wire may still be busy.
+    pub fn reset_stats(&mut self) {
+        for d in self.tx.iter_mut().chain(self.rx.iter_mut()) {
+            d.stats = LinkStats::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(bandwidth: u64, latency_us: u64, window: u32, nodes: usize) -> Interconnect {
+        Interconnect::new(
+            NicConfig {
+                bandwidth,
+                latency: SimDuration::from_us(latency_us),
+                window,
+            },
+            nodes,
+        )
+    }
+
+    #[test]
+    fn transfer_time_is_bytes_over_bandwidth_plus_latency() {
+        // 1 MB over 1 MB/s = 1 s wire time + 100 µs latency.
+        let mut n = net(1_000_000, 100, 8, 2);
+        let arrival = n.transfer(0, 1, 1_000_000, SimTime::ZERO);
+        assert_eq!(arrival, SimTime::from_us(1_000_100));
+    }
+
+    #[test]
+    fn same_node_transfer_is_free() {
+        let mut n = net(1_000, 100, 8, 2);
+        let at = SimTime::from_ms(5);
+        assert_eq!(n.transfer(1, 1, 1 << 20, at), at);
+        assert_eq!(n.total_bytes(), 0);
+    }
+
+    #[test]
+    fn fifo_queueing_serializes_concurrent_transfers() {
+        // Two simultaneous sends: the second starts only when the first
+        // leaves the wire.
+        let mut n = net(1_000_000, 0, 8, 2);
+        let a = n.transfer(0, 1, 500_000, SimTime::ZERO);
+        let b = n.transfer(0, 1, 500_000, SimTime::ZERO);
+        assert_eq!(a, SimTime::from_ms(500));
+        assert_eq!(b, SimTime::from_ms(1000));
+    }
+
+    #[test]
+    fn full_duplex_directions_do_not_contend() {
+        let mut n = net(1_000_000, 0, 8, 2);
+        let fwd = n.transfer(0, 1, 1_000_000, SimTime::ZERO);
+        let rev = n.transfer(1, 0, 1_000_000, SimTime::ZERO);
+        assert_eq!(fwd, rev, "opposite directions share nothing");
+    }
+
+    #[test]
+    fn distinct_destinations_share_the_sender_wire() {
+        let mut n = net(1_000_000, 0, 8, 3);
+        let a = n.transfer(0, 1, 1_000_000, SimTime::ZERO);
+        let b = n.transfer(0, 2, 1_000_000, SimTime::ZERO);
+        assert_eq!(b, a + SimDuration::from_secs(1), "TX direction is shared");
+    }
+
+    #[test]
+    fn window_caps_inflight_transfers_at_infinite_bandwidth() {
+        // Infinite bandwidth, 1 ms latency, window 2: the third transfer
+        // must wait for the first to arrive.
+        let mut n = net(u64::MAX, 1_000, 2, 2);
+        let a = n.transfer(0, 1, 4096, SimTime::ZERO);
+        let b = n.transfer(0, 1, 4096, SimTime::ZERO);
+        let c = n.transfer(0, 1, 4096, SimTime::ZERO);
+        assert_eq!(a, SimTime::from_ms(1));
+        assert_eq!(b, SimTime::from_ms(1));
+        assert_eq!(c, SimTime::from_ms(2), "third waits for the window");
+    }
+
+    #[test]
+    fn stats_track_both_directions_and_reset() {
+        let mut n = net(1_000_000, 10, 8, 2);
+        n.transfer(0, 1, 2_000, SimTime::ZERO);
+        n.transfer(1, 0, 1_000, SimTime::ZERO);
+        let stats = n.link_stats();
+        assert_eq!(stats[0].tx.bytes, 2_000);
+        assert_eq!(stats[0].rx.bytes, 1_000);
+        assert_eq!(stats[1].tx.transfers, 1);
+        assert_eq!(stats[1].rx.transfers, 1);
+        assert_eq!(n.total_bytes(), 3_000);
+        assert_eq!(stats[0].tx.busy, SimDuration::from_ms(2));
+        n.reset_stats();
+        assert_eq!(n.total_bytes(), 0);
+        assert_eq!(n.link_stats()[0].tx, LinkStats::default());
+    }
+
+    #[test]
+    fn replay_is_byte_identical() {
+        let run = || {
+            let mut n = net(5_000_000, 50, 4, 3);
+            let mut out = Vec::new();
+            for i in 0..50u64 {
+                let src = (i % 3) as usize;
+                let dst = ((i + 1) % 3) as usize;
+                out.push(n.transfer(src, dst, 4096 * (1 + i % 7), SimTime::from_us(i * 30)));
+            }
+            (out, n.link_stats())
+        };
+        assert_eq!(run(), run());
+    }
+}

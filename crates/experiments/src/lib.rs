@@ -26,8 +26,10 @@
 //! | `placement` | §5.1.1 ablation — Eq. 4 initial placement vs random |
 //! | `characterization` | Table 5 — realized workload characteristics |
 //! | `faults`  | robustness sweep — availability & migration recovery under injected faults |
+//! | `cluster` | cross-node migration — node count × NIC bandwidth × policy over the modeled interconnect |
 
 pub mod characterization;
+pub mod cluster;
 pub mod faults;
 pub mod fig10;
 pub mod fig12;
@@ -52,7 +54,7 @@ pub mod tau;
 pub use harness::{ExperimentResult, Row, Scale};
 
 /// All experiment ids, in paper order.
-pub const ALL_EXPERIMENTS: [&str; 18] = [
+pub const ALL_EXPERIMENTS: [&str; 19] = [
     "table1",
     "table2",
     "fig4",
@@ -71,6 +73,7 @@ pub const ALL_EXPERIMENTS: [&str; 18] = [
     "characterization",
     "fig9",
     "faults",
+    "cluster",
 ];
 
 /// Runs one experiment by id.
@@ -98,6 +101,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Result<ExperimentResult, String
         "placement" => Ok(placement::run(scale)),
         "characterization" => Ok(characterization::run(scale)),
         "faults" => Ok(faults::run(scale)),
+        "cluster" => Ok(cluster::run(scale)),
         other => Err(format!(
             "unknown experiment '{other}'; known: {}",
             ALL_EXPERIMENTS.join(", ")

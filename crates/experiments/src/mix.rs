@@ -92,7 +92,7 @@ pub struct MixSummary {
 
 /// The mix profiles: scaled down with pronounced MapReduce-stage
 /// intensity phases. `scale_div` sets the working-set scaling.
-fn mix_profiles(scale_div: u64, phase_amplitude: f64) -> Vec<WorkloadProfile> {
+pub(crate) fn mix_profiles(scale_div: u64, phase_amplitude: f64) -> Vec<WorkloadProfile> {
     all_profiles()
         .into_iter()
         .enumerate()

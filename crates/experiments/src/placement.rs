@@ -25,7 +25,10 @@ fn run_one(placed: bool, manage: bool, scale: Scale, seed: u64) -> (f64, f64) {
         let blocks = profile.working_set_blocks / 16;
         let p = profile.with_working_set(blocks);
         if placed {
-            sim.add_workload_placed(p);
+            // The full mix always fits on a fresh node; a rejection here
+            // would mean the ablation silently dropped a workload.
+            sim.add_workload_placed(p)
+                .expect("the scaled-down mix fits the node");
         } else {
             sim.add_workload(p);
         }

@@ -4,7 +4,7 @@
 
 use nvhsm_device::{IoOp, IoRequest, SsdConfig, SsdDevice, StorageDevice};
 use nvhsm_experiments::obs::{self, ObsOptions};
-use nvhsm_experiments::{faults, fig12, Scale};
+use nvhsm_experiments::{cluster, faults, fig12, Scale};
 use nvhsm_obs::to_jsonl;
 use nvhsm_sim::{parallel, SimDuration, SimRng, SimTime};
 use std::sync::Mutex;
@@ -50,6 +50,67 @@ fn fault_injection_is_byte_identical_across_job_counts() {
         serde_json::to_string(&serial).expect("serializable"),
         serde_json::to_string(&parallel_run).expect("serializable"),
     );
+}
+
+#[test]
+fn cluster_output_is_byte_identical_across_job_counts() {
+    // The interconnect is a pure function of its call sequence, and the
+    // call sequence is a pure function of the scenario — so the whole
+    // cluster sweep (reports, link stats, per-node latencies) must not see
+    // the worker count.
+    let _guard = JOBS_LOCK.lock().unwrap();
+    parallel::set_jobs(Some(1));
+    let serial = cluster::run(Scale::Quick);
+    parallel::set_jobs(Some(4));
+    let parallel_run = cluster::run(Scale::Quick);
+    parallel::set_jobs(None);
+
+    assert_eq!(serial.render(), parallel_run.render());
+    assert_eq!(serial.to_csv(), parallel_run.to_csv());
+    assert_eq!(
+        serde_json::to_string(&serial).expect("serializable"),
+        serde_json::to_string(&parallel_run).expect("serializable"),
+    );
+}
+
+/// Runs the cluster sweep with tracing + metrics armed and renders every
+/// scenario capture into one string, exactly as `--trace`/`--metrics` would.
+fn traced_cluster_dump() -> String {
+    obs::set_observation(ObsOptions {
+        trace: true,
+        metrics: true,
+    });
+    let report = cluster::run(Scale::Quick);
+    let mut dump = String::new();
+    for s in obs::take_observations() {
+        dump.push_str(&format!(
+            "## grid={} case={} label={} dropped={}\n",
+            s.grid, s.case, s.label, s.dropped
+        ));
+        dump.push_str(&to_jsonl(&s.events));
+        if let Some(snap) = &s.metrics {
+            dump.push_str(&serde_json::to_string(snap).expect("serializable snapshot"));
+            dump.push('\n');
+        }
+    }
+    obs::set_observation(ObsOptions::OFF);
+    dump.push_str(&report.to_csv());
+    dump
+}
+
+#[test]
+fn cluster_traces_are_byte_identical_across_job_counts() {
+    // Cross-node NetTransfer events and NIC metrics must order by
+    // (grid, case), never by worker completion.
+    let _guard = JOBS_LOCK.lock().unwrap();
+    parallel::set_jobs(Some(1));
+    let serial = traced_cluster_dump();
+    parallel::set_jobs(Some(4));
+    let fanned = traced_cluster_dump();
+    parallel::set_jobs(None);
+
+    assert!(!serial.is_empty());
+    assert_eq!(serial, fanned);
 }
 
 /// Runs fig12 with tracing + metrics armed and renders every scenario

@@ -188,6 +188,45 @@ pub enum TraceEvent {
         /// Destination device label.
         dst: String,
     },
+    /// A batch of migration blocks crossed the node interconnect.
+    NetTransfer {
+        /// Simulated time the batch was handed to the NIC, ns.
+        t: u64,
+        /// Sending node.
+        src_node: u32,
+        /// Receiving node.
+        dst_node: u32,
+        /// Payload bytes put on the wire.
+        bytes: u64,
+        /// Blocks in the batch.
+        blocks: u32,
+    },
+    /// A migration whose endpoints live on different nodes began.
+    RemoteMigrationStart {
+        /// Simulated time, ns.
+        t: u64,
+        /// Migrating VMDK.
+        vmdk: u32,
+        /// Node holding the source datastore.
+        src_node: u32,
+        /// Node holding the destination datastore.
+        dst_node: u32,
+        /// Total blocks to move over the interconnect.
+        blocks: u64,
+    },
+    /// A cross-node migration finished its cutover.
+    RemoteMigrationCutover {
+        /// Simulated time, ns.
+        t: u64,
+        /// Migrated VMDK.
+        vmdk: u32,
+        /// Node holding the source datastore.
+        src_node: u32,
+        /// Node holding the destination datastore.
+        dst_node: u32,
+        /// Bytes the migration put on the interconnect overall.
+        net_bytes: u64,
+    },
     /// The flash scheduler dispatched a request past the barrier check.
     BarrierDispatch {
         /// Controller clock, µs.
@@ -245,6 +284,9 @@ impl TraceEvent {
             TraceEvent::Placement { .. } => "Placement",
             TraceEvent::ImbalanceTrigger { .. } => "ImbalanceTrigger",
             TraceEvent::Evacuation { .. } => "Evacuation",
+            TraceEvent::NetTransfer { .. } => "NetTransfer",
+            TraceEvent::RemoteMigrationStart { .. } => "RemoteMigrationStart",
+            TraceEvent::RemoteMigrationCutover { .. } => "RemoteMigrationCutover",
             TraceEvent::BarrierDispatch { .. } => "BarrierDispatch",
             TraceEvent::BarrierDiscard { .. } => "BarrierDiscard",
         }

@@ -23,7 +23,9 @@ use std::path::PathBuf;
 
 /// Event kinds that form the compact control-plane trace: rare, decision-
 /// level transitions (not per-I/O traffic), so goldens stay reviewable.
-const CONTROL_KINDS: [&str; 7] = [
+/// `NetTransfer` is emitted once per cross-node copy round (aggregated),
+/// never per block, so it stays golden-sized too.
+const CONTROL_KINDS: [&str; 10] = [
     "MigrationStart",
     "MigrationSuspend",
     "MigrationResume",
@@ -31,6 +33,9 @@ const CONTROL_KINDS: [&str; 7] = [
     "MigrationCutover",
     "MirrorFallback",
     "Evacuation",
+    "RemoteMigrationStart",
+    "NetTransfer",
+    "RemoteMigrationCutover",
 ];
 
 fn control_plane(events: Vec<TraceEvent>) -> Vec<TraceEvent> {
@@ -165,6 +170,54 @@ fn golden_mirror_fallback() {
     assert!(kinds.contains(&"MirrorFallback"), "{kinds:?}");
     assert!(kinds.contains(&"MigrationSuspend"), "{kinds:?}");
     check_golden("mirror_fallback", &events);
+}
+
+#[test]
+fn golden_cross_node_migration() {
+    // A forced full-copy migration between nodes: the golden pins the whole
+    // remote sequence — RemoteMigrationStart, one aggregated NetTransfer per
+    // copy round over the modeled NIC, RemoteMigrationCutover with the total
+    // bytes the move put on the wire.
+    let mut cfg = quick_cfg(PolicyKind::Bca);
+    cfg.tau = 1.0; // balancer quiet: the forced migration is the only one
+    cfg.nic_bandwidth = 50_000_000;
+    let mut sim = NodeSim::with_nodes(cfg, 2, 5);
+    let sink = shared(RingSink::new(1 << 16));
+    sim.set_trace_sink(Some(sink.clone()));
+    sim.add_workload_on(profile(Benchmark::Pagerank).with_working_set(2_048), 2);
+    sim.run(SimDuration::from_ms(400));
+    sim.start_migration(MigrationDecision {
+        vmdk: VmdkId(0),
+        src: DatastoreId(2),
+        dst: DatastoreId(4),
+        mode: MigrationMode::FullCopy,
+    });
+    sim.run(SimDuration::from_secs(4));
+    let events = control_plane(drain_ring(&sink));
+
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+    assert!(kinds.contains(&"RemoteMigrationStart"), "{kinds:?}");
+    assert!(kinds.contains(&"NetTransfer"), "{kinds:?}");
+    assert!(kinds.contains(&"RemoteMigrationCutover"), "{kinds:?}");
+    let wire_bytes: u64 = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::NetTransfer { bytes, .. } => Some(*bytes),
+            _ => None,
+        })
+        .sum();
+    let cutover_bytes = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::RemoteMigrationCutover { net_bytes, .. } => Some(*net_bytes),
+            _ => None,
+        })
+        .expect("cutover present");
+    assert_eq!(
+        wire_bytes, cutover_bytes,
+        "cutover byte count disagrees with the transfers it summarizes"
+    );
+    check_golden("cross_node_migration", &events);
 }
 
 #[test]
