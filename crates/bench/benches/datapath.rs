@@ -1,0 +1,80 @@
+//! Staged data-path benchmarks (DESIGN.md §12).
+//!
+//! Three configurations of the same one-virtual-second node run:
+//!
+//! * `local_bare` — the fast path: no fault plan, no trace sink, no
+//!   metrics. Every request still flows through all five pipeline stages;
+//!   the Null stages must cost (near) nothing.
+//! * `local_instrumented` — the same run with a healthy fault plan, a
+//!   null trace sink and the metrics registry enabled: the price of the
+//!   fault gate and the observability taps on the hot path. By
+//!   `prop_null_stages_compose_to_identity` the two produce byte-identical
+//!   reports, so the delta is pure stage overhead.
+//! * `remote_mirror` — a two-node simulation with a mirror migration
+//!   pulling a node-1 workload toward node 0: every mirrored write pays
+//!   the stage-3 NIC hop, exercising the cross-node arm of the shared
+//!   pipeline (routing, bitmap bookkeeping, wire arithmetic).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nvhsm_bench::bench_node;
+use nvhsm_core::{DatastoreId, MigrationDecision, MigrationMode, NodeConfig, NodeSim, PolicyKind};
+use nvhsm_fault::FaultPlan;
+use nvhsm_workload::hibench::{profile, Benchmark};
+
+fn bench_datapath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datapath");
+    group.sample_size(10);
+
+    group.bench_function("local_bare", |b| {
+        b.iter(|| {
+            let mut sim = bench_node(PolicyKind::BcaLazy, 7);
+            black_box(sim.run_secs(1))
+        })
+    });
+
+    group.bench_function("local_instrumented", |b| {
+        b.iter(|| {
+            let mut cfg = NodeConfig::small();
+            cfg.policy = PolicyKind::BcaLazy;
+            cfg.train_requests = 30;
+            cfg.faults = Some(FaultPlan::healthy(3));
+            let mut sim = NodeSim::new(cfg, 7);
+            sim.set_trace_sink(Some(nvhsm_obs::shared(nvhsm_obs::NullSink)));
+            sim.enable_metrics();
+            for b in [Benchmark::Sort, Benchmark::Bayes, Benchmark::Pagerank] {
+                let p = profile(b);
+                let blocks = p.working_set_blocks / 16;
+                sim.add_workload(p.with_working_set(blocks));
+            }
+            black_box(sim.run_secs(1))
+        })
+    });
+
+    group.bench_function("remote_mirror", |b| {
+        b.iter(|| {
+            let mut cfg = NodeConfig::small();
+            cfg.policy = PolicyKind::BcaLazy;
+            cfg.train_requests = 30;
+            let mut sim = NodeSim::with_nodes(cfg, 2, 7);
+            let p = profile(Benchmark::Sort);
+            let blocks = p.working_set_blocks / 16;
+            // Node 1's SSD is datastore 4; mirror it toward node 0's SSD
+            // so every redirected write crosses the interconnect.
+            let v = sim
+                .add_workload_on(p.with_working_set(blocks), 4)
+                .expect("the SSD holds the scaled VMDK");
+            sim.start_migration(MigrationDecision {
+                vmdk: v,
+                src: DatastoreId(4),
+                dst: DatastoreId(1),
+                mode: MigrationMode::Mirror,
+            });
+            black_box(sim.run_secs(1))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_datapath);
+criterion_main!(benches);

@@ -19,7 +19,11 @@
 //!   LightSRM, BCA, BCA+lazy, BCA+lazy+architectural optimization.
 //! * [`node`] — [`NodeSim`]: one server node with NVDIMM + SSD + HDD,
 //!   big-data workloads, SPEC-like memory interference, and a management
-//!   loop.
+//!   loop. Every request flows through the staged data-path pipeline in
+//!   [`node::datapath`] (routing → translate → NIC hop → fault-gated
+//!   device service with retry → accounting), shared verbatim by the
+//!   local and cross-node paths; the manager plugs in behind the
+//!   [`manager::PolicyEngine`] seam.
 //! * [`net`] — the deterministic cluster interconnect: one full-duplex
 //!   link per node with FIFO contention and a bounded in-flight window.
 //! * [`cluster`] — [`ClusterSim`]: multiple nodes with cross-node
@@ -51,10 +55,10 @@ pub mod vmdk;
 
 pub use cluster::{ClusterConfig, ClusterReport, ClusterSim};
 pub use datastore::{Datastore, DatastoreId};
-pub use manager::{Manager, MigrationDecision, NetworkCosts};
+pub use manager::{Manager, MigrationDecision, NetworkCosts, PolicyEngine};
 pub use migration::{Bitmap, MigrationMode};
 pub use net::{Interconnect, LinkStats, NicConfig, NodeLinkStats};
-pub use node::{MigrationEvent, NodeConfig, NodeReport, NodeSim, PlacementError};
+pub use node::{IoOutcome, MigrationEvent, NodeConfig, NodeReport, NodeSim, PlacementError};
 pub use policy::PolicyKind;
 pub use training::pretrain_models;
 pub use vmdk::{Vmdk, VmdkId};

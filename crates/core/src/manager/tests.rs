@@ -1,0 +1,456 @@
+use super::*;
+use crate::training::pretrain_models;
+use nvhsm_device::DeviceStats;
+use nvhsm_sim::{SimDuration, SimTime};
+
+fn epoch_with(reads: u64, latency_us: f64) -> EpochStats {
+    // Build an epoch through the public DeviceStats API.
+    let mut stats = DeviceStats::new();
+    for i in 0..reads {
+        let req =
+            nvhsm_device::IoRequest::normal(0, i * 17, 1, nvhsm_device::IoOp::Read, SimTime::ZERO);
+        stats.record(&req, SimDuration::from_us_f64(latency_us));
+    }
+    stats.take_epoch(SimTime::from_ms(100))
+}
+
+fn obs(
+    ds: usize,
+    kind: DeviceKind,
+    latency_us: f64,
+    ios: u64,
+    residents: Vec<ResidentInfo>,
+) -> DeviceObservation {
+    DeviceObservation {
+        ds: DatastoreId(ds),
+        node: 0,
+        kind,
+        epoch: epoch_with(ios, latency_us),
+        free_space: 0.5,
+        free_capacity_blocks: 1_000_000,
+        residents,
+        health: DeviceHealth::Healthy,
+    }
+}
+
+fn resident(id: u32, latency_us: f64, ios: u64) -> ResidentInfo {
+    ResidentInfo {
+        vmdk: VmdkId(id),
+        size_blocks: 10_000,
+        features: Features {
+            wr_ratio: 0.3,
+            oios: 1.0,
+            ios: 1.0,
+            wr_rand: 0.5,
+            rd_rand: 0.5,
+            free_space_ratio: 0.5,
+        },
+        io_count: ios,
+        mean_latency_us: latency_us,
+        live_blocks: 100_000,
+    }
+}
+
+fn manager(policy: PolicyKind) -> Manager {
+    Manager::new(policy, 0.5, pretrain_models(30, 3))
+}
+
+#[test]
+fn balanced_system_makes_no_decision() {
+    let mut m = manager(PolicyKind::Basil);
+    // Two devices of the same tier at similar raw latency: balanced
+    // (raw Eq. 5 comparison, like the paper's).
+    let o = vec![
+        obs(
+            0,
+            DeviceKind::Ssd,
+            100.0,
+            100,
+            vec![resident(0, 100.0, 100)],
+        ),
+        obs(
+            1,
+            DeviceKind::Ssd,
+            110.0,
+            100,
+            vec![resident(1, 110.0, 100)],
+        ),
+    ];
+    // Call twice: the debounce requires persistence anyway.
+    let _ = m.epoch_decision(&o, false);
+    let d = m.epoch_decision(&o, false);
+    assert!(d.is_none(), "{:?}", m.last_diagnostics());
+}
+
+#[test]
+fn overloaded_device_triggers_migration() {
+    let mut m = manager(PolicyKind::Basil);
+    let nv_baseline = m.models().baseline_us(DeviceKind::Nvdimm);
+    // NVDIMM at 50x its baseline with a light workload; SSD idle.
+    let o = vec![
+        obs(
+            0,
+            DeviceKind::Nvdimm,
+            nv_baseline * 50.0,
+            50,
+            vec![resident(0, nv_baseline * 50.0, 50)],
+        ),
+        obs(1, DeviceKind::Ssd, 0.0, 0, vec![]),
+    ];
+    let d = m.epoch_decision(&o, false).expect("should migrate");
+    assert_eq!(d.src, DatastoreId(0));
+    assert_eq!(d.dst, DatastoreId(1));
+    assert_eq!(d.mode, MigrationMode::FullCopy);
+}
+
+#[test]
+fn migration_suppressed_while_one_is_active() {
+    let mut m = manager(PolicyKind::Basil);
+    let nv_baseline = m.models().baseline_us(DeviceKind::Nvdimm);
+    let o = vec![
+        obs(
+            0,
+            DeviceKind::Nvdimm,
+            nv_baseline * 50.0,
+            50,
+            vec![resident(0, nv_baseline * 50.0, 50)],
+        ),
+        obs(1, DeviceKind::Ssd, 0.0, 0, vec![]),
+    ];
+    assert!(m.epoch_decision(&o, true).is_none());
+}
+
+#[test]
+fn lazy_policy_yields_lazy_mode() {
+    let mut m = manager(PolicyKind::BcaLazy);
+    let nv_baseline = m.models().baseline_us(DeviceKind::Nvdimm);
+    let mut r = resident(0, nv_baseline * 50.0, 2000);
+    r.live_blocks = 10_000_000; // make the benefit overwhelming
+    let o = vec![
+        obs(0, DeviceKind::Nvdimm, nv_baseline * 50.0, 2000, vec![r]),
+        obs(1, DeviceKind::Ssd, 0.0, 0, vec![]),
+    ];
+    if let Some(d) = m.epoch_decision(&o, false) {
+        assert_eq!(d.mode, MigrationMode::Lazy);
+    }
+}
+
+#[test]
+fn cost_benefit_vetoes_worthless_moves() {
+    let mut m = manager(PolicyKind::Pesto);
+    let nv_baseline = m.models().baseline_us(DeviceKind::Nvdimm);
+    // Overloaded, but almost no anticipated traffic: benefit ≈ 0.
+    let mut r = resident(0, nv_baseline * 20.0, 500);
+    r.live_blocks = 1;
+    let o = vec![
+        obs(0, DeviceKind::Nvdimm, nv_baseline * 20.0, 500, vec![r]),
+        obs(1, DeviceKind::Ssd, 0.0, 0, vec![]),
+    ];
+    assert!(m.epoch_decision(&o, false).is_none());
+    assert!(m.last_diagnostics().vetoed);
+}
+
+#[test]
+fn initial_placement_prefers_fast_empty_device() {
+    let m = manager(PolicyKind::Bca);
+    let o = vec![
+        obs(0, DeviceKind::Nvdimm, 0.0, 0, vec![]),
+        obs(1, DeviceKind::Hdd, 0.0, 0, vec![]),
+    ];
+    let w = resident(9, 0.0, 0);
+    let ds = m.initial_placement(&o, &w);
+    // Both are idle; the NVDIMM yields the lower predicted average.
+    assert_eq!(ds, Some(DatastoreId(0)));
+}
+
+#[test]
+fn initial_placement_respects_capacity() {
+    let m = manager(PolicyKind::Bca);
+    let mut full = obs(0, DeviceKind::Nvdimm, 0.0, 0, vec![]);
+    full.free_capacity_blocks = 1;
+    let o = vec![full, obs(1, DeviceKind::Ssd, 0.0, 0, vec![])];
+    let w = resident(9, 0.0, 0);
+    assert_eq!(m.initial_placement(&o, &w), Some(DatastoreId(1)));
+}
+
+#[test]
+#[should_panic(expected = "tau must be in (0, 1]")]
+fn invalid_tau_rejected() {
+    let _ = Manager::new(PolicyKind::Basil, 0.0, pretrain_models(30, 3));
+}
+
+#[test]
+fn degraded_store_is_never_a_destination() {
+    let mut m = manager(PolicyKind::Basil);
+    let nv_baseline = m.models().baseline_us(DeviceKind::Nvdimm);
+    let mut degraded = obs(1, DeviceKind::Ssd, 0.0, 0, vec![]);
+    degraded.health = DeviceHealth::Degraded;
+    // Hot enough that even the HDD beats staying put, so only the
+    // degraded-health filter decides between SSD and HDD.
+    let o = vec![
+        obs(
+            0,
+            DeviceKind::Nvdimm,
+            nv_baseline * 500.0,
+            50,
+            vec![resident(0, nv_baseline * 500.0, 50)],
+        ),
+        degraded,
+        obs(2, DeviceKind::Hdd, 0.0, 0, vec![]),
+    ];
+    let d = m.epoch_decision(&o, false).expect("should still migrate");
+    assert_eq!(d.dst, DatastoreId(2), "must skip the degraded SSD");
+}
+
+#[test]
+fn degraded_store_does_not_trigger_imbalance() {
+    let mut m = manager(PolicyKind::Basil);
+    // The only hot device is degraded: its fault-inflated latency must
+    // not read as load imbalance.
+    let mut hot = obs(
+        0,
+        DeviceKind::Ssd,
+        5_000.0,
+        500,
+        vec![resident(0, 5_000.0, 500)],
+    );
+    hot.health = DeviceHealth::Degraded;
+    let o = vec![
+        hot,
+        obs(
+            1,
+            DeviceKind::Ssd,
+            100.0,
+            100,
+            vec![resident(1, 100.0, 100)],
+        ),
+    ];
+    let _ = m.epoch_decision(&o, false);
+    let d = m.epoch_decision(&o, false);
+    assert!(d.is_none(), "{:?}", m.last_diagnostics());
+}
+
+#[test]
+fn initial_placement_avoids_degraded_stores() {
+    let m = manager(PolicyKind::Bca);
+    let mut nv = obs(0, DeviceKind::Nvdimm, 0.0, 0, vec![]);
+    nv.health = DeviceHealth::Degraded;
+    let o = vec![nv, obs(1, DeviceKind::Ssd, 0.0, 0, vec![])];
+    let w = resident(9, 0.0, 0);
+    assert_eq!(m.initial_placement(&o, &w), Some(DatastoreId(1)));
+}
+
+#[test]
+fn evacuation_moves_hottest_resident_to_healthy_store() {
+    let m = manager(PolicyKind::Bca);
+    let mut flapping = obs(
+        0,
+        DeviceKind::Ssd,
+        200.0,
+        300,
+        vec![resident(5, 200.0, 100), resident(6, 200.0, 200)],
+    );
+    flapping.health = DeviceHealth::Degraded;
+    let mut dead = obs(1, DeviceKind::Hdd, 0.0, 0, vec![resident(7, 0.0, 0)]);
+    dead.health = DeviceHealth::Offline;
+    let o = vec![flapping, dead, obs(2, DeviceKind::Nvdimm, 0.0, 0, vec![])];
+    let d = m.evacuation_decision(&o).expect("should evacuate");
+    assert_eq!(d.vmdk, VmdkId(6), "hottest resident first");
+    assert_eq!(d.src, DatastoreId(0));
+    assert_eq!(d.dst, DatastoreId(2));
+    assert_eq!(d.mode, MigrationMode::FullCopy);
+}
+
+#[test]
+fn evacuation_waits_when_no_healthy_destination() {
+    let m = manager(PolicyKind::Bca);
+    let mut flapping = obs(
+        0,
+        DeviceKind::Ssd,
+        200.0,
+        300,
+        vec![resident(5, 200.0, 100)],
+    );
+    flapping.health = DeviceHealth::Degraded;
+    let mut other = obs(1, DeviceKind::Hdd, 0.0, 0, vec![]);
+    other.health = DeviceHealth::Degraded;
+    assert!(m.evacuation_decision(&[flapping, other]).is_none());
+}
+
+#[test]
+fn nan_perf_prediction_does_not_panic_epoch_decision() {
+    // A zero-IO observation can produce NaN feature rates and hence a
+    // NaN perf prediction / NaN resident latency. The epoch decision
+    // must survive (total_cmp + sanitization), not panic.
+    for policy in [PolicyKind::Basil, PolicyKind::Bca] {
+        let mut m = manager(policy);
+        let mut poisoned = resident(0, f64::NAN, 50);
+        poisoned.features.oios = f64::NAN;
+        let o = vec![
+            obs(
+                0,
+                DeviceKind::Nvdimm,
+                800.0,
+                50,
+                vec![poisoned, resident(1, 800.0, 40)],
+            ),
+            obs(1, DeviceKind::Ssd, 0.0, 0, vec![]),
+        ];
+        let _ = m.epoch_decision(&o, false);
+        let _ = m.epoch_decision(&o, false);
+        let d = m.last_diagnostics();
+        assert!(
+            (0.0..=1.0).contains(&d.imbalance),
+            "{policy:?}: imbalance {}",
+            d.imbalance
+        );
+    }
+}
+
+#[test]
+fn remote_destination_pays_the_hop() {
+    // A severely hot NVDIMM (so the accept gate is easy), an idle local
+    // HDD and an idle remote SSD. Hop-free the faster remote tier wins
+    // the destination what-if; a steep hop keeps the move on-node.
+    let scenario = || {
+        let mut remote = obs(2, DeviceKind::Ssd, 0.0, 0, vec![]);
+        remote.node = 1;
+        vec![
+            obs(
+                0,
+                DeviceKind::Nvdimm,
+                500_000.0,
+                50,
+                vec![resident(0, 500_000.0, 50)],
+            ),
+            obs(1, DeviceKind::Hdd, 0.0, 0, vec![]),
+            remote,
+        ]
+    };
+    let mut free = manager(PolicyKind::Basil);
+    let d = free
+        .epoch_decision(&scenario(), false)
+        .unwrap_or_else(|| panic!("migrates: {:?}", free.last_diagnostics()));
+    assert_eq!(d.dst, DatastoreId(2), "free network: remote SSD wins");
+
+    let mut tolled = manager(PolicyKind::Basil);
+    tolled.set_network(NetworkCosts {
+        hop_us: 1e6,
+        per_block_us: 0.0,
+    });
+    let d = tolled
+        .epoch_decision(&scenario(), false)
+        .unwrap_or_else(|| panic!("migrates: {:?}", tolled.last_diagnostics()));
+    assert_eq!(d.dst, DatastoreId(1), "steep hop: local HDD wins");
+}
+
+#[test]
+fn initial_placement_from_prefers_home_when_hop_is_steep() {
+    let mut m = manager(PolicyKind::Bca);
+    let mut remote = obs(1, DeviceKind::Nvdimm, 0.0, 0, vec![]);
+    remote.node = 1;
+    let o = vec![obs(0, DeviceKind::Ssd, 0.0, 0, vec![]), remote];
+    let w = resident(9, 0.0, 0);
+    // Hop-free, the remote NVDIMM is the better tier.
+    assert_eq!(
+        m.initial_placement_from(&o, &w, Some(0)),
+        Some(DatastoreId(1))
+    );
+    // With a steep hop, Eq. 4 keeps the workload on its home node.
+    m.set_network(NetworkCosts {
+        hop_us: 1e6,
+        per_block_us: 0.0,
+    });
+    assert_eq!(
+        m.initial_placement_from(&o, &w, Some(0)),
+        Some(DatastoreId(0))
+    );
+    // Without a home node the hop never applies.
+    assert_eq!(m.initial_placement(&o, &w), Some(DatastoreId(1)));
+}
+
+#[test]
+fn network_cost_gates_cross_node_migration() {
+    let nv_baseline = manager(PolicyKind::Bca)
+        .models()
+        .baseline_us(DeviceKind::Nvdimm);
+    let scenario = || {
+        let mut r = resident(0, nv_baseline * 20.0, 500);
+        r.live_blocks = 40_000;
+        let mut remote = obs(1, DeviceKind::Ssd, 0.0, 0, vec![]);
+        remote.node = 1;
+        vec![
+            obs(0, DeviceKind::Nvdimm, nv_baseline * 20.0, 500, vec![r]),
+            remote,
+        ]
+    };
+    let mut free = manager(PolicyKind::Bca);
+    assert!(
+        free.epoch_decision(&scenario(), false).is_some(),
+        "without network costs the move passes Eq. 6/7"
+    );
+    let mut tolled = manager(PolicyKind::Bca);
+    tolled.set_network(NetworkCosts {
+        hop_us: 0.0,
+        per_block_us: 1e6,
+    });
+    assert!(
+        tolled.epoch_decision(&scenario(), false).is_none(),
+        "a slow wire makes the same move cost-prohibitive"
+    );
+    assert!(tolled.last_diagnostics().vetoed);
+}
+
+proptest::proptest! {
+    /// Δ/max stays inside [0, 1] for arbitrary observation sets — the
+    /// loaded-vs-idle logic can never produce a negative or >1 reading,
+    /// even with unloaded, degraded or NaN-afflicted stores in the mix.
+    #[test]
+    fn prop_imbalance_always_in_unit_interval(
+        devices in proptest::collection::vec(
+            (0.0f64..50_000.0, 0u64..120, 0u8..3, 0u8..3, 0u8..2),
+            1..6,
+        ),
+    ) {
+        for policy in [PolicyKind::Basil, PolicyKind::Bca] {
+            let mut m = manager(policy);
+            let o: Vec<DeviceObservation> = devices
+                .iter()
+                .enumerate()
+                .map(|(i, &(latency, ios, kind, health, node))| {
+                    let kind = match kind {
+                        0 => DeviceKind::Nvdimm,
+                        1 => DeviceKind::Ssd,
+                        _ => DeviceKind::Hdd,
+                    };
+                    let mut d = obs(i, kind, latency, ios, vec![resident(i as u32, latency, ios)]);
+                    d.health = match health {
+                        0 => DeviceHealth::Healthy,
+                        1 => DeviceHealth::Degraded,
+                        _ => DeviceHealth::Offline,
+                    };
+                    d.node = node as usize;
+                    d
+                })
+                .collect();
+            let _ = m.epoch_decision(&o, false);
+            let _ = m.epoch_decision(&o, false);
+            let imbalance = m.last_diagnostics().imbalance;
+            proptest::prop_assert!(
+                (0.0..=1.0).contains(&imbalance),
+                "{:?}: imbalance {} out of [0,1]", policy, imbalance
+            );
+        }
+    }
+}
+
+#[test]
+fn health_predicates() {
+    assert!(DeviceHealth::Healthy.available());
+    assert!(DeviceHealth::Healthy.reachable());
+    assert!(!DeviceHealth::Degraded.available());
+    assert!(DeviceHealth::Degraded.reachable());
+    assert!(!DeviceHealth::Offline.available());
+    assert!(!DeviceHealth::Offline.reachable());
+    assert_eq!(DeviceHealth::Degraded.to_string(), "degraded");
+}

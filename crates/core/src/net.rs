@@ -113,10 +113,10 @@ impl Interconnect {
         while q.front().is_some_and(|&arrived| arrived <= start) {
             q.pop_front();
         }
-        if q.len() >= window {
+        if let Some(&oldest) = q.front().filter(|_| q.len() >= window) {
             // The window is full: wait for the oldest outstanding transfer
             // to arrive before putting another one on the wire.
-            let oldest = q.pop_front().expect("window > 0 implies non-empty");
+            q.pop_front();
             start = start.max(oldest);
         }
         let dur = self.wire_time(bytes);

@@ -10,7 +10,7 @@
 //! terms suppress cross-node traffic instead of thrashing the wire.
 //!
 //! Each case also admits one deliberately oversized VMDK, exercising the
-//! typed [`PlacementError`] rejection path end to end.
+//! typed [`nvhsm_core::PlacementError`] rejection path end to end.
 
 use crate::harness::{ExperimentResult, Row, Scale};
 use crate::mix::{mix_profiles, MixObservation};
@@ -82,7 +82,7 @@ fn drive(sim: &mut NodeSim, _nodes: usize, scale: Scale) -> (nvhsm_core::NodeRep
     for p in arrivals {
         let mut p = p.clone();
         p.working_set_blocks *= 4;
-        sim.add_workload_on(p, 1);
+        sim.add_workload_on(p, 1).expect("scaled VMDK fits the SSD");
         sim.run(early);
     }
     let consumed = early * (arrivals.len() as u64 + 1);

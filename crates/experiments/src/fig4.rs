@@ -15,7 +15,8 @@ pub fn run(scale: Scale) -> ExperimentResult {
     cfg.spec = Some(SpecProgram::Mcf429);
     cfg.train_requests = scale.train_requests().min(40);
     let mut sim = NodeSim::new(cfg, 4);
-    sim.add_workload_on(profile(Benchmark::Bayes), 0);
+    sim.add_workload_on(profile(Benchmark::Bayes), 0)
+        .expect("the NVDIMM holds the Bayes VMDK");
     let report = sim.run_secs(scale.horizon_secs());
 
     let mut result = ExperimentResult::new(

@@ -185,7 +185,8 @@ pub fn run_mix_observed(
             let mut p = p.clone();
             p.working_set_blocks *= 4;
             let ssd_ds = (i % params.nodes) * 3 + 1;
-            sim.add_workload_on(p, ssd_ds);
+            sim.add_workload_on(p, ssd_ds)
+                .expect("mix VMDK fits the SSD");
             sim.run(early);
         }
         let consumed = early * (arrivals.len() as u64 + 1);

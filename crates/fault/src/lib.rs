@@ -23,6 +23,12 @@
 //! many devices exist — adding a device never perturbs the windows drawn
 //! for the others.
 //!
+//! In the node simulation the plan is consulted as the *fault gate* of the
+//! shared data-path pipeline (`nvhsm-core`'s `node::datapath`, DESIGN.md
+//! §12): every device submission — workload traffic and migration copy
+//! rounds alike — passes through the gate inside the service stage, and a
+//! healthy plan is byte-identical to no plan at all.
+//!
 //! # Examples
 //!
 //! ```

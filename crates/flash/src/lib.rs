@@ -15,6 +15,15 @@
 //!   vs. channel parallelism, *Policy One* (migrated writes ignore
 //!   barriers), *Policy Two* (persistent writes prioritized), and the
 //!   non-persistent barrier that bounds migrated-write delay (Fig. 9/10).
+//!   All four of its entry points funnel through one internal simulate
+//!   path, so its `BarrierDecision` trace taps fire identically however a
+//!   caller drives it.
+//!
+//! In the node simulation this crate sits entirely inside the *device
+//! service* stage of the shared data-path pipeline (`nvhsm-core`'s
+//! `node::datapath`, DESIGN.md §12): requests reach it only after routing
+//! and the fault gate, and its completion times feed the pipeline's single
+//! latency-accounting point.
 //!
 //! # Examples
 //!

@@ -21,6 +21,11 @@
 //! * **Deterministic rendering.** JSONL output goes through the workspace's
 //!   deterministic `serde_json` (insertion-order maps, shortest round-trip
 //!   floats), so equal event sequences produce equal bytes.
+//!
+//! In the node simulation the taps hang off fixed points of the shared
+//! data-path pipeline (`nvhsm-core`'s `node::datapath`, DESIGN.md §12) —
+//! chiefly the completion/accounting stage — so a trace line's position
+//! identifies the stage that emitted it.
 
 mod event;
 mod metrics;

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Produces BENCH_driver.json: criterion results for the driver bench plus
-# an end-to-end serial-vs-parallel timing of the fig12 experiment harness.
+# Produces BENCH_driver.json: criterion results for the driver and
+# datapath benches plus an end-to-end serial-vs-parallel timing of the
+# fig12 experiment harness.
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 #
@@ -14,13 +15,17 @@ cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_driver.json}
 CRIT_JSON=$(mktemp)
-trap 'rm -f "$CRIT_JSON"' EXIT
+DP_JSON=$(mktemp)
+trap 'rm -f "$CRIT_JSON" "$DP_JSON"' EXIT
 
 echo "== building release binaries" >&2
 cargo build --release -q -p nvhsm-experiments
 
 echo "== running driver criterion bench" >&2
 CRITERION_JSON_OUT=$CRIT_JSON cargo bench -q -p nvhsm-bench --bench driver >&2
+
+echo "== running datapath criterion bench" >&2
+CRITERION_JSON_OUT=$DP_JSON cargo bench -q -p nvhsm-bench --bench datapath >&2
 
 wall_ms() {
     local start end
@@ -38,6 +43,7 @@ echo "   jobs=1: ${SERIAL_MS} ms, jobs=${CORES}: ${PARALLEL_MS} ms" >&2
 
 jq -n \
     --slurpfile crit "$CRIT_JSON" \
+    --slurpfile datapath "$DP_JSON" \
     --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     --arg rustc "$(rustc --version)" \
     --argjson cores "$CORES" \
@@ -49,6 +55,7 @@ jq -n \
         rustc: $rustc,
         cores: $cores,
         criterion: $crit[0],
+        datapath: $datapath[0],
         end_to_end: {
             experiment: "fig12 --quick",
             serial_ms: $serial_ms,
@@ -62,7 +69,8 @@ jq -n \
             "grid_16_jobs_all vs grid_16_jobs1 and the end_to_end speedup scale with `cores`; on a 1-core host both are ~1.0.",
             "single_scenario_quick_8sim_s covers 8 simulated seconds: ns_per_iter / 8000 = ns per simulated millisecond.",
             "predict_memo_64x8 vs predict_uncached_64x8: the exact-key memo costs more than re-walking these shallow trees; it is kept for its API (bit-identical, clear-per-epoch) and is off the end-to-end critical path.",
-            "bus_slowdown_lut_1k vs bus_slowdown_exact_1k and report_build vs report_build_deepcopy are before/after pairs for the kernel optimizations."
+            "bus_slowdown_lut_1k vs bus_slowdown_exact_1k and report_build vs report_build_deepcopy are before/after pairs for the kernel optimizations.",
+            "datapath/local_bare matches management/one_virtual_second/BCA+lazy (same workload, seed 7): compare across commits to track the staged-pipeline refactor. local_instrumented adds fault gate + null trace + metrics; remote_mirror adds the stage-3 NIC hops."
         ]
     }' > "$OUT"
 

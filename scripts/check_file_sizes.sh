@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Fail if any Rust source file in the workspace crates exceeds the line
+# budget. The budget exists to keep the PR-5 monolith decomposition from
+# regressing: node.rs and manager.rs once grew past 2,000 lines each, and
+# files that size stop getting read before they get edited.
+#
+# Usage: scripts/check_file_sizes.sh [limit]   (default 900)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LIMIT="${1:-900}"
+status=0
+while IFS= read -r -d '' f; do
+    lines=$(wc -l <"$f")
+    if [ "$lines" -gt "$LIMIT" ]; then
+        echo "FAIL: $f has $lines lines (limit $LIMIT)" >&2
+        status=1
+    fi
+done < <(find crates -path '*/src/*' -name '*.rs' -print0)
+
+if [ "$status" -ne 0 ]; then
+    echo "Split oversized files into focused modules (see DESIGN.md §12)." >&2
+else
+    echo "OK: no crate source file exceeds $LIMIT lines."
+fi
+exit "$status"

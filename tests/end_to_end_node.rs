@@ -55,7 +55,7 @@ fn interference_slows_the_nvdimm() {
         cfg.tau = 1.0; // observation only
         cfg.spec = spec;
         let mut sim = NodeSim::new(cfg, 11);
-        sim.add_workload_on(scaled(Benchmark::Bayes), 0); // NVDIMM
+        sim.add_workload_on(scaled(Benchmark::Bayes), 0).unwrap(); // NVDIMM
         sim.run_secs(2)
     };
     let quiet = run(None);
@@ -73,7 +73,7 @@ fn overloaded_hdd_resident_gets_rescued() {
     let mut cfg = quick_cfg(PolicyKind::Bca);
     cfg.tau = 0.3;
     let mut sim = NodeSim::new(cfg, 5);
-    let v = sim.add_workload_on(scaled(Benchmark::Pagerank), 2); // HDD
+    let v = sim.add_workload_on(scaled(Benchmark::Pagerank), 2).unwrap(); // HDD
     sim.run_secs(6);
     let placement = sim.placement_of(v).expect("vmdk exists");
     assert_ne!(placement, 2, "random workload still stranded on the HDD");

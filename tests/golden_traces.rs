@@ -110,7 +110,8 @@ fn run_outage_scenario(
     let mut sim = NodeSim::new(cfg, 5);
     let sink = shared(RingSink::new(1 << 16));
     sim.set_trace_sink(Some(sink.clone()));
-    sim.add_workload_on(profile(Benchmark::Pagerank).with_working_set(20_000), 2);
+    sim.add_workload_on(profile(Benchmark::Pagerank).with_working_set(20_000), 2)
+        .expect("the HDD holds the VMDK");
     sim.run(SimDuration::from_ms(400));
     sim.start_migration(MigrationDecision {
         vmdk: VmdkId(0),
@@ -184,7 +185,8 @@ fn golden_cross_node_migration() {
     let mut sim = NodeSim::with_nodes(cfg, 2, 5);
     let sink = shared(RingSink::new(1 << 16));
     sim.set_trace_sink(Some(sink.clone()));
-    sim.add_workload_on(profile(Benchmark::Pagerank).with_working_set(2_048), 2);
+    sim.add_workload_on(profile(Benchmark::Pagerank).with_working_set(2_048), 2)
+        .expect("the HDD holds the VMDK");
     sim.run(SimDuration::from_ms(400));
     sim.start_migration(MigrationDecision {
         vmdk: VmdkId(0),

@@ -53,7 +53,7 @@ fn migration_moves_placement_and_frees_source() {
     let p = profile(Benchmark::Pagerank);
     let blocks = p.working_set_blocks / 16;
     let p = p.with_working_set(blocks);
-    let v = sim.add_workload_on(p, 2); // start on the HDD
+    let v = sim.add_workload_on(p, 2).unwrap(); // start on the HDD
     let report = sim.run_secs(6);
     assert!(report.migrations_completed >= 1, "{report:?}");
     let ds = sim.placement_of(v).expect("alive");
@@ -77,7 +77,7 @@ fn lazy_migration_mirrors_writes() {
     let p = profile(Benchmark::NutchIndexing);
     let blocks = p.working_set_blocks / 16;
     let p = p.with_working_set(blocks);
-    sim.add_workload_on(p, 2);
+    sim.add_workload_on(p, 2).unwrap();
     let report = sim.run_secs(6);
     assert!(
         report.migrations_started >= 1,
