@@ -14,19 +14,20 @@ use nvhsm_experiments::mix::{run_mix, MixParams};
 use nvhsm_experiments::Scale;
 use nvhsm_mem::{AnalyticBus, CalibrationCurve, DramConfig};
 use nvhsm_model::Features;
-use nvhsm_sim::{parallel, EventQueue, SimDuration, SimRng, SimTime};
+use nvhsm_sim::{parallel, EventQueue, HeapEventQueue, SimDuration, SimRng, SimTime};
 
-fn bench_pop_due(c: &mut Criterion) {
-    c.bench_function("driver/event_queue_pop_due_1k", |b| {
+/// The pop_due drain loop shared by the calendar/heap before-after pairs:
+/// 1024 events over 1 ms of virtual time, drained in 2 µs deadline steps
+/// (so roughly half the probes hit the fast not-due branch).
+macro_rules! pop_due_loop {
+    ($queue:ty, $b:ident) => {{
         let mut rng = SimRng::new(1);
-        b.iter(|| {
-            let mut q = EventQueue::with_capacity(1024);
+        $b.iter(|| {
+            let mut q = <$queue>::with_capacity(1024);
             q.reserve(1024);
             for i in 0..1024u64 {
                 q.push(SimTime::from_ns(rng.below(1_000_000)), i);
             }
-            // Drain through the due-bounded path the simulators use: half
-            // the probes hit the fast not-due branch.
             let mut acc = 0u64;
             let mut now = SimTime::ZERO;
             while !q.is_empty() {
@@ -37,9 +38,53 @@ fn bench_pop_due(c: &mut Criterion) {
             }
             black_box(acc)
         })
+    }};
+}
+
+/// Same schedule through the batch `drain_due` API instead of one
+/// `pop_due` call per event.
+macro_rules! drain_due_loop {
+    ($queue:ty, $b:ident) => {{
+        let mut rng = SimRng::new(1);
+        let mut batch: Vec<(SimTime, u64)> = Vec::with_capacity(1024);
+        $b.iter(|| {
+            let mut q = <$queue>::with_capacity(1024);
+            q.reserve(1024);
+            for i in 0..1024u64 {
+                q.push(SimTime::from_ns(rng.below(1_000_000)), i);
+            }
+            let mut acc = 0u64;
+            let mut now = SimTime::ZERO;
+            while !q.is_empty() {
+                batch.clear();
+                q.drain_due(now, &mut batch);
+                for &(_, e) in &batch {
+                    acc = acc.wrapping_add(e);
+                }
+                now += SimDuration::from_ns(2_000);
+            }
+            black_box(acc)
+        })
+    }};
+}
+
+fn bench_pop_due(c: &mut Criterion) {
+    c.bench_function("driver/event_queue_pop_due_1k", |b| {
+        pop_due_loop!(EventQueue<u64>, b)
+    });
+    // The retired binary-heap queue on the same schedule: the before side
+    // of the calendar-queue pair.
+    c.bench_function("driver/event_queue_pop_due_1k_heap", |b| {
+        pop_due_loop!(HeapEventQueue<u64>, b)
+    });
+    c.bench_function("driver/event_queue_drain_due_1k", |b| {
+        drain_due_loop!(EventQueue<u64>, b)
+    });
+    c.bench_function("driver/event_queue_drain_due_1k_heap", |b| {
+        drain_due_loop!(HeapEventQueue<u64>, b)
     });
     // Baseline: the pre-optimization shape — peek to check the deadline,
-    // then pop as a second heap access.
+    // then pop as a second queue access.
     c.bench_function("driver/event_queue_peek_then_pop_1k", |b| {
         let mut rng = SimRng::new(1);
         b.iter(|| {

@@ -3,7 +3,6 @@
 use crate::vmdk::VmdkId;
 use nvhsm_device::StorageDevice;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a datastore within a simulation.
@@ -41,7 +40,12 @@ pub struct Datastore {
     device: Box<dyn StorageDevice>,
     /// Node this datastore belongs to (for cross-node migration costing).
     node: usize,
-    placements: HashMap<VmdkId, Extent>,
+    /// Placement table indexed densely by `VmdkId.0` — VMDK ids are
+    /// handed out sequentially by the node simulation, so a flat array
+    /// turns the per-request translate lookup into one bounds check and
+    /// one load instead of a hash probe.
+    placements: Vec<Option<Extent>>,
+    resident_count: usize,
     /// Free extents, kept sorted by base, coalesced on free.
     free: Vec<Extent>,
     used_blocks: u64,
@@ -53,7 +57,7 @@ impl fmt::Debug for Datastore {
             .field("id", &self.id)
             .field("kind", &self.device.kind())
             .field("node", &self.node)
-            .field("vmdks", &self.placements.len())
+            .field("vmdks", &self.resident_count)
             .field("used_blocks", &self.used_blocks)
             .finish()
     }
@@ -67,7 +71,8 @@ impl Datastore {
             id,
             device,
             node,
-            placements: HashMap::new(),
+            placements: Vec::new(),
+            resident_count: 0,
             free: vec![Extent {
                 base: 0,
                 len: capacity,
@@ -111,16 +116,24 @@ impl Datastore {
         self.free.iter().map(|e| e.len).max().unwrap_or(0)
     }
 
-    /// VMDKs resident on this datastore.
+    /// VMDKs resident on this datastore, in id order (the table is
+    /// id-indexed, so iteration order is already sorted).
     pub fn residents(&self) -> Vec<VmdkId> {
-        let mut v: Vec<VmdkId> = self.placements.keys().copied().collect();
-        v.sort();
-        v
+        self.placements
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|_| VmdkId(i as u32)))
+            .collect()
     }
 
     /// Whether `vmdk` lives here.
     pub fn hosts(&self, vmdk: VmdkId) -> bool {
-        self.placements.contains_key(&vmdk)
+        self.extent_of(vmdk).is_some()
+    }
+
+    #[inline]
+    fn extent_of(&self, vmdk: VmdkId) -> Option<&Extent> {
+        self.placements.get(vmdk.0 as usize)?.as_ref()
     }
 
     /// Allocates `blocks` for `vmdk` (first fit) and installs its image on
@@ -132,11 +145,7 @@ impl Datastore {
     /// Panics if `vmdk` is already placed here or `blocks` is zero.
     pub fn place(&mut self, vmdk: VmdkId, blocks: u64) -> Option<u64> {
         assert!(blocks > 0, "empty VMDK");
-        assert!(
-            !self.placements.contains_key(&vmdk),
-            "{vmdk} already placed on {}",
-            self.id
-        );
+        assert!(!self.hosts(vmdk), "{vmdk} already placed on {}", self.id);
         let slot = self.free.iter().position(|e| e.len >= blocks)?;
         let extent = self.free[slot];
         let base = extent.base;
@@ -148,7 +157,12 @@ impl Datastore {
                 len: extent.len - blocks,
             };
         }
-        self.placements.insert(vmdk, Extent { base, len: blocks });
+        let idx = vmdk.0 as usize;
+        if self.placements.len() <= idx {
+            self.placements.resize(idx + 1, None);
+        }
+        self.placements[idx] = Some(Extent { base, len: blocks });
+        self.resident_count += 1;
         self.used_blocks += blocks;
         self.device.prefill(base..base + blocks);
         Some(base)
@@ -163,8 +177,10 @@ impl Datastore {
     pub fn remove(&mut self, vmdk: VmdkId) {
         let extent = self
             .placements
-            .remove(&vmdk)
+            .get_mut(vmdk.0 as usize)
+            .and_then(Option::take)
             .unwrap_or_else(|| panic!("{vmdk} not on {}", self.id));
+        self.resident_count -= 1;
         for b in extent.base..extent.base + extent.len {
             self.device.discard_block(b);
         }
@@ -198,13 +214,13 @@ impl Datastore {
     /// Returns `None` if the VMDK is not placed here or the offset is out
     /// of range.
     pub fn translate(&self, vmdk: VmdkId, offset: u64) -> Option<u64> {
-        let e = self.placements.get(&vmdk)?;
+        let e = self.extent_of(vmdk)?;
         (offset < e.len).then_some(e.base + offset)
     }
 
     /// The extent base of `vmdk`, if placed here.
     pub fn base_of(&self, vmdk: VmdkId) -> Option<u64> {
-        self.placements.get(&vmdk).map(|e| e.base)
+        self.extent_of(vmdk).map(|e| e.base)
     }
 }
 

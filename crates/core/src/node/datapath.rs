@@ -386,11 +386,13 @@ impl NodeSim {
             // Should not happen; drop the request defensively.
             let next = self.workloads[wi].generator.next_request();
             self.workloads[wi].next = next;
+            self.ready.push(next.0, wi as u32);
             return;
         }
         self.complete_request(wi, &gen, home_node, &route, outcome);
         let next = self.workloads[wi].generator.next_request();
         self.workloads[wi].next = next;
+        self.ready.push(next.0, wi as u32);
 
         // Mirror-mode migrations whose bitmaps filled up purely by writes
         // complete here.

@@ -52,7 +52,7 @@ use nvhsm_device::{
 use nvhsm_fault::FaultPlan;
 use nvhsm_model::Features;
 use nvhsm_obs::{emit, MetricsRegistry, SharedSink, TraceEvent};
-use nvhsm_sim::{Histogram, OnlineStats, SimDuration, SimRng, SimTime};
+use nvhsm_sim::{EventQueue, Histogram, OnlineStats, SimDuration, SimRng, SimTime};
 use nvhsm_workload::{IoGenerator, SpecProgram, SpecTraffic, WorkloadProfile};
 use std::sync::Arc;
 
@@ -172,6 +172,12 @@ pub struct NodeSim {
     /// code never sees simulator state beyond its observations.
     manager: Box<dyn PolicyEngine>,
     workloads: Vec<WorkloadState>,
+    /// Workload wake-ups: one `(arrival, index)` entry per admitted
+    /// workload, always mirroring `workloads[i].next.0`. Replaces the old
+    /// per-iteration scan over every workload in [`NodeSim::run`].
+    ready: EventQueue<u32>,
+    /// Reused batch buffer for same-timestamp wake-ups in [`NodeSim::run`].
+    ready_buf: Vec<(SimTime, u32)>,
     spec: Vec<SpecTraffic>,
     net: Interconnect,
     nodes: usize,
@@ -303,6 +309,8 @@ impl NodeSim {
             datastores,
             manager,
             workloads: Vec::new(),
+            ready: EventQueue::new(),
+            ready_buf: Vec::new(),
             spec,
             net,
             nodes,
@@ -524,6 +532,7 @@ impl NodeSim {
         let mut generator = IoGenerator::new(profile, self.rng.fork());
         generator.fast_forward(self.now);
         let next = generator.next_request();
+        self.ready.push(next.0, self.workloads.len() as u32);
         self.workloads.push(WorkloadState {
             vmdk,
             generator,
@@ -630,24 +639,28 @@ impl NodeSim {
     }
 
     /// Runs the simulation for `span` of virtual time and reports.
+    ///
+    /// Each loop iteration is one wake-up instant `t`, and everything due
+    /// at `t` is processed in a fixed priority order — utilization update,
+    /// epoch boundary, migration copy rounds, then all workload requests
+    /// in workload-index order (batch-drained from the calendar queue in
+    /// one call). The order matches the retired one-event-per-iteration
+    /// loop exactly: serving never re-arms anything at `t` (generators
+    /// advance strictly, copy rounds reschedule past `now`), and the only
+    /// same-instant cascade — an epoch decision starting a migration due
+    /// immediately — is covered by checking migrations after the epoch.
     pub fn run(&mut self, span: SimDuration) -> NodeReport {
         let until = self.now + span;
         loop {
-            // Next event: workload request, epoch boundary, migration copy
-            // round, or utilization update.
+            // Next wake-up: workload request, epoch boundary, migration
+            // copy round, or utilization update.
             let mut t = self.next_epoch.min(self.next_util_update);
             for m in &self.migrations {
                 if m.active.copy_enabled && !m.active.suspended() {
                     t = t.min(m.next_copy_at);
                 }
             }
-            let next_w = self
-                .workloads
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.next.0)
-                .map(|(i, w)| (i, w.next.0));
-            if let Some((_, wt)) = next_w {
+            if let Some(wt) = self.ready.next_time() {
                 t = t.min(wt);
             }
             if t >= until {
@@ -658,28 +671,28 @@ impl NodeSim {
             if t == self.next_util_update {
                 self.update_bus_utilization();
                 self.next_util_update = t + self.cfg.epoch / 4;
-                continue;
             }
             if t == self.next_epoch {
                 self.run_epoch();
                 self.next_epoch = t + self.cfg.epoch;
-                continue;
             }
-            if let Some(mi) = self
+            while let Some(mi) = self
                 .migrations
                 .iter()
                 .position(|m| m.active.copy_enabled && !m.active.suspended() && m.next_copy_at == t)
             {
                 self.copy_round(mi);
-                continue;
             }
-            if let Some((wi, wt)) = next_w {
-                if wt == t {
-                    self.serve_workload(wi);
-                    continue;
-                }
+            let mut batch = std::mem::take(&mut self.ready_buf);
+            batch.clear();
+            self.ready.drain_due(t, &mut batch);
+            // Same-instant arrivals are served in workload-index order,
+            // matching the retired loop's first-minimum scan.
+            batch.sort_unstable_by_key(|&(_, wi)| wi);
+            for &(_, wi) in &batch {
+                self.serve_workload(wi as usize);
             }
-            unreachable!("event time matched nothing");
+            self.ready_buf = batch;
         }
         self.now = until;
         self.finish_report(until)

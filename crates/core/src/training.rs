@@ -20,18 +20,32 @@ use nvhsm_workload::{GenOp, IoGenerator};
 use std::cell::RefCell;
 use std::collections::HashMap;
 
-/// Trained models plus baseline characteristics per device kind.
+/// Dense index of a device kind into the per-kind tables below. The
+/// tables are plain arrays rather than maps: `predict_us` sits on the
+/// epoch-decision hot path, and hashing even a one-byte enum key twice
+/// per call (gate lookup + model lookup) used to cost more than the tree
+/// walk itself.
+const fn kind_index(kind: DeviceKind) -> usize {
+    match kind {
+        DeviceKind::Nvdimm => 0,
+        DeviceKind::Ssd => 1,
+        DeviceKind::Hdd => 2,
+    }
+}
+
+/// Trained models plus baseline characteristics per device kind, all
+/// indexed by `kind_index`.
 #[derive(Debug)]
 pub struct DeviceModels {
-    models: HashMap<DeviceKind, PerfModel>,
+    models: [PerfModel; 3],
     /// Idle (low-load, contention-free) mean latency per kind, µs.
-    baselines: HashMap<DeviceKind, f64>,
+    baselines: [f64; 3],
     /// Marginal latency per outstanding I/O, µs (the Pesto-style LQ
     /// slope used for baseline what-if estimates).
-    slopes: HashMap<DeviceKind, f64>,
+    slopes: [f64; 3],
     /// Per-block sequential streaming latency per kind, µs — what a bulk
     /// migration copy actually costs (Eq. 6's per-unit terms).
-    seq_block: HashMap<DeviceKind, f64>,
+    seq_block: [f64; 3],
     /// Exact-key memo in front of tree prediction: one epoch decision
     /// re-predicts the same resident feature vectors many times while
     /// evaluating candidates. Keys are the raw feature bits, so a memo hit
@@ -39,7 +53,20 @@ pub struct DeviceModels {
     /// mutability keeps the prediction API `&self`; the manager clears it
     /// once per epoch so it never outlives the features it caches.
     memo: RefCell<HashMap<(DeviceKind, [u64; NUM_FEATURES]), f64, BuildFnvHasher>>,
+    /// Per-kind gate on the memo: hashing a 56-byte key costs more than
+    /// walking a shallow tree, so only kinds whose trees are at least
+    /// [`MEMO_MIN_LEAVES`] leaves deep use the memo at all. Either path is
+    /// bit-identical — the memo can only ever return a value the same
+    /// tree produced for the same feature bits.
+    memo_enabled: [bool; 3],
 }
+
+/// Minimum leaf count before memoizing a kind's predictions pays for the
+/// key hash. Measured on this workspace's FNV memo: a ~30-leaf tree walks
+/// in roughly the time the hash+probe costs; the small pretrained trees
+/// (tens of leaves) lose 3–4× by memoizing, while trees hundreds of
+/// leaves deep win.
+const MEMO_MIN_LEAVES: usize = 64;
 
 /// FNV-1a over the raw key bytes. The memo key is 56 bytes of feature
 /// bits, which the default SipHash hasher turns into the dominant cost of
@@ -80,46 +107,43 @@ impl std::hash::BuildHasher for BuildFnvHasher {
 
 impl DeviceModels {
     /// The model for `kind`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `kind` was not trained (cannot happen via
-    /// [`pretrain_models`]).
     pub fn model(&self, kind: DeviceKind) -> &PerfModel {
-        &self.models[&kind]
+        &self.models[kind_index(kind)]
     }
 
     /// Idle latency of `kind`, µs.
     pub fn baseline_us(&self, kind: DeviceKind) -> f64 {
-        self.baselines[&kind]
+        self.baselines[kind_index(kind)]
     }
 
     /// Latency-per-OIO slope of `kind`, µs.
     pub fn slope_us_per_oio(&self, kind: DeviceKind) -> f64 {
-        self.slopes[&kind]
+        self.slopes[kind_index(kind)]
     }
 
     /// Per-block sequential streaming latency of `kind`, µs.
     pub fn seq_block_us(&self, kind: DeviceKind) -> f64 {
-        self.seq_block[&kind]
+        self.seq_block[kind_index(kind)]
     }
 
-    /// Memoized model prediction for `kind`: bit-for-bit identical to
-    /// `self.model(kind).predict(features)` — the memo key is the exact
-    /// bit pattern of the feature vector, so a hit can only return a value
-    /// the tree itself produced for those same bits.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `kind` was not trained (cannot happen via
-    /// [`pretrain_models`]).
+    /// Model prediction for `kind`, memoized only when the kind's tree is
+    /// large enough that the memo wins (see `MEMO_MIN_LEAVES`): shallow
+    /// trees re-walk directly, because hashing the 56-byte key costs more
+    /// than the walk it would save. Bit-for-bit identical to
+    /// `self.model(kind).predict(features)` on both paths — the memo key
+    /// is the exact bit pattern of the feature vector, so a hit can only
+    /// return a value the tree itself produced for those same bits.
     pub fn predict_us(&self, kind: DeviceKind, features: &Features) -> f64 {
+        let i = kind_index(kind);
+        if !self.memo_enabled[i] {
+            return self.models[i].predict(features);
+        }
         let key = (kind, features.to_array().map(f64::to_bits));
         *self
             .memo
             .borrow_mut()
             .entry(key)
-            .or_insert_with(|| self.models[&kind].predict(features))
+            .or_insert_with(|| self.models[i].predict(features))
     }
 
     /// Drops all memoized predictions. Called once per management epoch:
@@ -311,23 +335,26 @@ pub fn pretrain_models(requests_per_point: usize, seed: u64) -> DeviceModels {
         train_kind(kind, requests_per_point, rngs)
     });
 
-    let mut models = HashMap::new();
-    let mut baselines = HashMap::new();
-    let mut slopes = HashMap::new();
-    let mut seq_block = HashMap::new();
-    for (kind, c) in KINDS.into_iter().zip(trained) {
-        models.insert(kind, c.model);
-        baselines.insert(kind, c.baseline_us);
-        slopes.insert(kind, c.slope_us_per_oio);
-        seq_block.insert(kind, c.seq_block_us);
-    }
+    // `trained` comes back in KINDS order, which matches `kind_index`.
+    debug_assert!(KINDS.iter().enumerate().all(|(i, &k)| kind_index(k) == i));
+    let mut it = trained.into_iter();
+    let chars: [KindCharacteristics; 3] =
+        std::array::from_fn(|_| it.next().expect("one result per kind"));
+    let baselines = std::array::from_fn(|i| chars[i].baseline_us);
+    let slopes = std::array::from_fn(|i| chars[i].slope_us_per_oio);
+    let seq_block = std::array::from_fn(|i| chars[i].seq_block_us);
+    let models = chars.map(|c| c.model);
 
+    let memo_enabled = models
+        .each_ref()
+        .map(|m| m.tree().leaf_count() >= MEMO_MIN_LEAVES);
     DeviceModels {
         models,
         baselines,
         slopes,
         seq_block,
         memo: RefCell::new(HashMap::with_hasher(BuildFnvHasher)),
+        memo_enabled,
     }
 }
 
@@ -375,6 +402,25 @@ mod tests {
             m.predict_us(DeviceKind::Ssd, &f).to_bits(),
             m.model(DeviceKind::Ssd).predict(&f).to_bits()
         );
+    }
+
+    #[test]
+    fn memo_gate_follows_tree_size() {
+        let m = pretrain_models(40, 13);
+        for kind in [DeviceKind::Nvdimm, DeviceKind::Ssd, DeviceKind::Hdd] {
+            let gated = m.memo_enabled[kind_index(kind)];
+            let leaves = m.model(kind).tree().leaf_count();
+            assert_eq!(
+                gated,
+                leaves >= MEMO_MIN_LEAVES,
+                "{kind:?}: {leaves} leaves"
+            );
+            // Gated or not, repeated predictions agree bit-for-bit.
+            let f = Features::default();
+            let direct = m.model(kind).predict(&f);
+            assert_eq!(m.predict_us(kind, &f).to_bits(), direct.to_bits());
+            assert_eq!(m.predict_us(kind, &f).to_bits(), direct.to_bits());
+        }
     }
 
     #[test]

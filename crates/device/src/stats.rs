@@ -23,8 +23,14 @@ pub struct DeviceStats {
     read_blocks: u64,
     write_blocks: u64,
     latency: OnlineStats,
-    per_stream: HashMap<u32, OnlineStats>,
-    last_block: HashMap<u32, u64>,
+    /// Per-stream latency accumulators, keyed by stream id. A device
+    /// serves only a handful of streams (its resident workloads plus the
+    /// migration copy streams), so a linearly scanned flat vec beats a
+    /// hash probe in the per-request hot path.
+    per_stream: Vec<(u32, OnlineStats)>,
+    /// Per-stream sequentiality cursors (next block if strictly
+    /// sequential), same flat layout as `per_stream`.
+    last_block: Vec<(u32, u64)>,
     migrated_ios: u64,
     lifetime: OnlineStats,
     lifetime_hist: Histogram,
@@ -74,8 +80,8 @@ impl DeviceStats {
         self.lifetime_hist.add(latency.as_us_f64());
         let sequential = self
             .last_block
-            .get(&req.stream)
-            .is_some_and(|&last| req.block == last);
+            .iter()
+            .any(|&(s, last)| s == req.stream && req.block == last);
         match req.op {
             IoOp::Read => {
                 self.reads += 1;
@@ -93,16 +99,23 @@ impl DeviceStats {
             }
         }
         self.latency.add(latency.as_us_f64());
-        self.per_stream
-            .entry(req.stream)
-            .or_default()
-            .add(latency.as_us_f64());
+        match self.per_stream.iter_mut().find(|(s, _)| *s == req.stream) {
+            Some((_, stats)) => stats.add(latency.as_us_f64()),
+            None => {
+                let mut stats = OnlineStats::new();
+                stats.add(latency.as_us_f64());
+                self.per_stream.push((req.stream, stats));
+            }
+        }
         self.update_cursor(req);
     }
 
     fn update_cursor(&mut self, req: &IoRequest) {
-        self.last_block
-            .insert(req.stream, req.block + req.size_blocks as u64);
+        let next = req.block + req.size_blocks as u64;
+        match self.last_block.iter_mut().find(|(s, _)| *s == req.stream) {
+            Some((_, last)) => *last = next,
+            None => self.last_block.push((req.stream, next)),
+        }
     }
 
     /// Closes the current epoch at `now` and starts a new one. Stream
@@ -117,7 +130,9 @@ impl DeviceStats {
             read_blocks: self.read_blocks,
             write_blocks: self.write_blocks,
             latency_us: self.latency,
-            per_stream_latency_us: std::mem::take(&mut self.per_stream),
+            // The public epoch view stays a map; it is built once per
+            // epoch from the flat accumulator, off the per-request path.
+            per_stream_latency_us: self.per_stream.drain(..).collect(),
             migrated_ios: self.migrated_ios,
         };
         self.epoch_start = now;

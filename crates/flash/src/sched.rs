@@ -294,26 +294,42 @@ fn simulate_inner(
     let mut discarded = 0u64;
     let mut last_done = SimTime::ZERO;
 
-    while let Some((now, ev)) = events.pop() {
-        match ev {
-            Event::Arrival(i) => {
-                pending[requests[i].channel].push(i);
-            }
-            Event::Completion { req, server } => {
-                let t = &mut tracked[req];
-                t.done = Some(now);
-                last_done = last_done.max(now);
-                completed += 1;
-                open_any[t.req.epoch as usize] -= 1;
-                if t.req.class == WriteClass::Persistent {
-                    open_persistent[t.req.epoch as usize] -= 1;
+    // All events due at one instant are batch-drained in a single calendar
+    // sweep, then applied in (time, seq) order — exactly the order the
+    // retired pop-per-iteration loop produced, since anything pushed while
+    // the batch is in flight carries a higher sequence number and lands in
+    // a later drain.
+    let mut batch: Vec<(SimTime, Event)> = Vec::new();
+    while let Some(now) = events.next_time() {
+        batch.clear();
+        events.drain_due(now, &mut batch);
+        for &(_, ev) in batch.iter() {
+            match ev {
+                Event::Arrival(i) => {
+                    pending[requests[i].channel].push(i);
                 }
-                let _ = server;
+                Event::Completion { req, server } => {
+                    let t = &mut tracked[req];
+                    t.done = Some(now);
+                    last_done = last_done.max(now);
+                    completed += 1;
+                    open_any[t.req.epoch as usize] -= 1;
+                    if t.req.class == WriteClass::Persistent {
+                        open_persistent[t.req.epoch as usize] -= 1;
+                    }
+                    let _ = server;
+                }
             }
-        }
 
-        // Dispatch: repeatedly hand eligible requests to free servers.
-        loop {
+            // Dispatch after every event (the trace records dispatch order,
+            // so batching must not reorder it). One sweep saturates every
+            // channel: the barrier frontiers are constant while no event is
+            // applied — alias discards decrement only `open_any`, and the
+            // only policy reading the any-frontier (Baseline) never
+            // discards — and dispatching on one channel touches no other
+            // channel's servers or queue, so a second sweep would find
+            // nothing. That lets the frontier scans hoist out of the
+            // channel loop instead of re-running per fixpoint round.
             let frontier_any = min_open(&open_any);
             let frontier_persistent = min_open(&open_persistent);
             let eligible = |t: &Tracked| -> bool {
@@ -338,8 +354,10 @@ fn simulate_inner(
                 }
             };
 
-            let mut dispatched = false;
             for (ch, chq) in pending.iter_mut().enumerate() {
+                if chq.is_empty() {
+                    continue;
+                }
                 // Keep dispatching while this channel has a free chip.
                 while let Some(server) = (0..cfg.chips_per_channel)
                     .map(|w| ch * cfg.chips_per_channel + w)
@@ -433,11 +451,7 @@ fn simulate_inner(
                         migrated,
                         boosted: rank == 0,
                     });
-                    dispatched = true;
                 }
-            }
-            if !dispatched {
-                break;
             }
         }
     }

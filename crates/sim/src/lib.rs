@@ -7,8 +7,10 @@
 //! * [`SimTime`] / [`SimDuration`] — an integer-nanosecond time base with
 //!   saturating arithmetic, so every component in the stack agrees on what
 //!   "now" means.
-//! * [`EventQueue`] — a deterministic time-ordered priority queue (FIFO among
-//!   events that share a timestamp).
+//! * [`EventQueue`] — a deterministic time-ordered calendar queue (FIFO
+//!   among events that share a timestamp), with batch drain of everything
+//!   due at a wake-up; [`HeapEventQueue`] is the binary-heap reference
+//!   implementation it is property-tested against.
 //! * [`SimRng`] — a small, seedable, `SplitMix64`-based random number
 //!   generator plus the distribution helpers the workload generators need
 //!   (exponential inter-arrivals, Zipfian skew, Bernoulli mixes).
@@ -38,7 +40,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, HeapEventQueue};
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, TimeSeries};
 pub use time::{SimDuration, SimTime};

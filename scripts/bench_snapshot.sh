@@ -68,9 +68,11 @@ jq -n \
         notes: [
             "grid_16_jobs_all vs grid_16_jobs1 and the end_to_end speedup scale with `cores`; on a 1-core host both are ~1.0.",
             "single_scenario_quick_8sim_s covers 8 simulated seconds: ns_per_iter / 8000 = ns per simulated millisecond.",
-            "predict_memo_64x8 vs predict_uncached_64x8: the exact-key memo costs more than re-walking these shallow trees; it is kept for its API (bit-identical, clear-per-epoch) and is off the end-to-end critical path.",
+            "event_queue_pop_due_1k and event_queue_drain_due_1k run the calendar queue that ships; the matching *_heap rows run the retired BinaryHeap queue on the identical schedule — the before side of the pair (DESIGN.md section 13).",
+            "predict_memo_64x8 vs predict_uncached_64x8: the memo is size-gated (MEMO_MIN_LEAVES) and the per-kind tables are dense arrays, so the small pretrained trees take the direct-walk path; the pair now measures gate + dispatch overhead, not the retired always-memo regression.",
             "bus_slowdown_lut_1k vs bus_slowdown_exact_1k and report_build vs report_build_deepcopy are before/after pairs for the kernel optimizations.",
-            "datapath/local_bare matches management/one_virtual_second/BCA+lazy (same workload, seed 7): compare across commits to track the staged-pipeline refactor. local_instrumented adds fault gate + null trace + metrics; remote_mirror adds the stage-3 NIC hops."
+            "datapath/local_bare matches management/one_virtual_second/BCA+lazy (same workload, seed 7): compare across commits to track the staged-pipeline refactor. local_instrumented adds fault gate + null trace + metrics; remote_mirror adds the stage-3 NIC hops.",
+            "scripts/perf_gate.sh compares fresh medians against scripts/perf_budgets.json (derived from this file); kernel-class benches hard-fail at +25%, wall-class benches warn."
         ]
     }' > "$OUT"
 
