@@ -7,8 +7,9 @@
 //! packages the results as `BENCH_driver.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nvhsm_core::migration::ActiveMigration;
 use nvhsm_core::training::pretrain_models;
-use nvhsm_core::{NodeConfig, NodeSim, PolicyKind};
+use nvhsm_core::{DatastoreId, MigrationMode, NodeConfig, NodeSim, PolicyKind, VmdkId};
 use nvhsm_device::{DeviceKind, IoOp, IoRequest, SsdConfig, SsdDevice, StorageDevice};
 use nvhsm_experiments::mix::{run_mix, MixParams};
 use nvhsm_experiments::Scale;
@@ -203,6 +204,46 @@ fn bench_report_build(c: &mut Criterion) {
     });
 }
 
+fn bench_replay_journal(c: &mut Criterion) {
+    // The crash-recovery hot kernel: rebuilding a suspended migration's
+    // location map from the journaled checkpoint. 256 Ki blocks (a 1 GiB
+    // VMDK) with half the copy done at checkpoint time, further progress
+    // and scattered dirty/stale traffic lost to the crash.
+    const BLOCKS: u64 = 262_144;
+    let mut m = ActiveMigration::new(
+        VmdkId(0),
+        DatastoreId(0),
+        DatastoreId(1),
+        MigrationMode::Mirror,
+        BLOCKS,
+        SimTime::ZERO,
+    );
+    let mut rng = SimRng::new(3);
+    for _ in 0..BLOCKS / 2 {
+        if let Some(b) = m.next_copy_block() {
+            m.record_copied(b);
+        }
+    }
+    let journal = (m.bitmap.clone(), m.cursor);
+    for _ in 0..BLOCKS / 4 {
+        if let Some(b) = m.next_copy_block() {
+            m.record_copied(b);
+        }
+    }
+    for _ in 0..4_096 {
+        m.record_mirrored_write(rng.below(BLOCKS));
+        m.record_stale_write(rng.below(BLOCKS));
+    }
+    let crashed = m;
+    c.bench_function("driver/replay_journal_256k", |b| {
+        b.iter(|| {
+            let mut m = crashed.clone();
+            let dropped = m.crash_restore(Some((&journal.0, journal.1)));
+            black_box((m.bitmap.count_set(), dropped))
+        })
+    });
+}
+
 /// A deliberately small device-level scenario for grid-throughput runs.
 fn small_scenario(seed: u64) -> f64 {
     let mut dev = SsdDevice::new(SsdConfig::small_test());
@@ -260,6 +301,7 @@ criterion_group!(
     bench_predict_memo,
     bench_bus_lut,
     bench_report_build,
+    bench_replay_journal,
     bench_grid,
     bench_single_scenario
 );

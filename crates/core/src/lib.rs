@@ -58,7 +58,9 @@ pub use datastore::{Datastore, DatastoreId};
 pub use manager::{Manager, MigrationDecision, NetworkCosts, PolicyEngine};
 pub use migration::{Bitmap, MigrationMode};
 pub use net::{Interconnect, LinkStats, NicConfig, NodeLinkStats};
-pub use node::{IoOutcome, MigrationEvent, NodeConfig, NodeReport, NodeSim, PlacementError};
+pub use node::{
+    IoOutcome, MigrationEvent, NodeConfig, NodeReport, NodeSim, PlacementError, RecoveryPolicy,
+};
 pub use policy::PolicyKind;
 pub use training::pretrain_models;
 pub use vmdk::{Vmdk, VmdkId};

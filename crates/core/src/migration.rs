@@ -174,6 +174,32 @@ impl Bitmap {
         })
     }
 
+    /// Intersects with `other` in place (`self &= other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitmaps track different block counts.
+    pub fn intersect_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+        self.set = self.words.iter().map(|w| w.count_ones() as u64).sum();
+    }
+
+    /// Unions with `other` in place (`self |= other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitmaps track different block counts.
+    pub fn union_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+        self.set = self.words.iter().map(|w| w.count_ones() as u64).sum();
+    }
+
     /// In-memory footprint of the bitmap payload in bytes.
     pub fn footprint_bytes(&self) -> u64 {
         self.words.len() as u64 * 8
@@ -366,6 +392,49 @@ impl ActiveMigration {
     pub fn dirty_blocks(&self) -> Vec<u64> {
         self.dirty.iter_set().collect()
     }
+
+    /// Restores the location bitmap after a whole-node power loss, from the
+    /// last journaled checkpoint (`None` if the migration was never
+    /// persisted).
+    ///
+    /// The write-ahead split mirrors the paper's §5.2 NVDIMM bitmap:
+    /// mirrored-write dirty tracking and stale-write invalidations are
+    /// *synchronous* durable updates (they gate correctness), while
+    /// background-copy progress is only lazily checkpointed. A crash
+    /// therefore keeps `dirty` exactly but may lose copy progress since the
+    /// checkpoint, so the restored location map is
+    ///
+    /// ```text
+    /// bitmap := (journal ∩ bitmap) ∪ dirty
+    /// ```
+    ///
+    /// * `journal ∩ bitmap` drops blocks the journal believes migrated but
+    ///   a later stale write invalidated — they must be re-sent, never
+    ///   trusted;
+    /// * dropping post-checkpoint copy progress (in `bitmap` but not in the
+    ///   journal) is safe because re-copying an already-copied block is
+    ///   idempotent — the conservative direction;
+    /// * `∪ dirty` keeps every block whose only valid copy lives at the
+    ///   destination, which is what makes `blocks_lost == 0` structural.
+    ///
+    /// The copy cursor rewinds to the journaled position (0 without a
+    /// journal). Returns the number of copied blocks forgotten, i.e. the
+    /// re-copy debt the crash created.
+    pub fn crash_restore(&mut self, journaled: Option<(&Bitmap, u64)>) -> u64 {
+        let before = self.bitmap.count_set();
+        match journaled {
+            Some((journal, cursor)) => {
+                self.bitmap.intersect_with(journal);
+                self.bitmap.union_with(&self.dirty);
+                self.cursor = cursor % self.bitmap.len().max(1);
+            }
+            None => {
+                self.bitmap = self.dirty.clone();
+                self.cursor = 0;
+            }
+        }
+        before - self.bitmap.count_set()
+    }
 }
 
 #[cfg(test)]
@@ -444,6 +513,84 @@ mod tests {
         }
         assert_eq!(b.iter_set().collect::<Vec<_>>(), vec![0, 63, 64, 127, 199]);
         assert_eq!(Bitmap::new(10).iter_set().count(), 0);
+    }
+
+    #[test]
+    fn intersect_union_recompute_counts() {
+        let mut a = Bitmap::new(130);
+        let mut b = Bitmap::new(130);
+        for bit in [0u64, 63, 64, 129] {
+            a.set(bit);
+        }
+        for bit in [63u64, 64, 100] {
+            b.set(bit);
+        }
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter_set().collect::<Vec<_>>(), vec![63, 64]);
+        assert_eq!(i.count_set(), 2);
+        a.union_with(&b);
+        assert_eq!(a.iter_set().collect::<Vec<_>>(), vec![0, 63, 64, 100, 129]);
+        assert_eq!(a.count_set(), 5);
+    }
+
+    #[test]
+    fn crash_restore_rebuilds_conservatively() {
+        let mut m = ActiveMigration::new(
+            VmdkId(1),
+            DatastoreId(0),
+            DatastoreId(1),
+            MigrationMode::Mirror,
+            8,
+            SimTime::ZERO,
+        );
+        // Copy blocks 0 and 1, then checkpoint.
+        for _ in 0..2 {
+            let b = m.next_copy_block().unwrap();
+            m.record_copied(b);
+        }
+        let journal = (m.bitmap.clone(), m.cursor);
+        // Post-checkpoint: copy block 2 (volatile progress), mirror-write
+        // block 5 (durable dirty), invalidate journaled block 1 with a
+        // stale write (durable invalidation).
+        let b = m.next_copy_block().unwrap();
+        m.record_copied(b);
+        m.record_mirrored_write(5);
+        m.record_stale_write(1);
+
+        let dropped = m.crash_restore(Some((&journal.0, journal.1)));
+        // Block 0 from the journal survives, block 1 stays invalidated,
+        // block 2's copy progress is forgotten, dirty block 5 is kept.
+        assert_eq!(m.bitmap.iter_set().collect::<Vec<_>>(), vec![0, 5]);
+        assert_eq!(dropped, 1, "only block 2's progress is re-copy debt");
+        assert_eq!(m.cursor, journal.1);
+        assert!(m.dirty.get(5));
+
+        // A second restore from the same journal is idempotent.
+        assert_eq!(m.crash_restore(Some((&journal.0, journal.1))), 0);
+        assert_eq!(m.bitmap.iter_set().collect::<Vec<_>>(), vec![0, 5]);
+    }
+
+    #[test]
+    fn crash_restore_without_journal_keeps_only_dirty() {
+        let mut m = ActiveMigration::new(
+            VmdkId(1),
+            DatastoreId(0),
+            DatastoreId(1),
+            MigrationMode::Lazy,
+            16,
+            SimTime::ZERO,
+        );
+        m.copy_enabled = true;
+        for _ in 0..4 {
+            let b = m.next_copy_block().unwrap();
+            m.record_copied(b);
+        }
+        m.record_mirrored_write(9);
+        let dropped = m.crash_restore(None);
+        assert_eq!(m.bitmap.iter_set().collect::<Vec<_>>(), vec![9]);
+        assert_eq!(dropped, 4);
+        assert_eq!(m.cursor, 0);
     }
 
     #[test]
@@ -642,6 +789,74 @@ mod tests {
                     N
                 );
             }
+        }
+
+        /// `persist() → crash → replay()` invariants for random suspend
+        /// points: the restore is idempotent, the restored map equals the
+        /// journaled durable state corrected by post-checkpoint durable
+        /// updates (dirty writes and invalidations), and no block is ever
+        /// lost — every dirty block stays tracked at the destination.
+        #[test]
+        fn prop_persist_crash_replay_is_idempotent(
+            pre_ops in proptest::collection::vec((0u8..3, 0u64..96), 0..200),
+            post_ops in proptest::collection::vec((0u8..3, 0u64..96), 0..200),
+        ) {
+            const N: u64 = 96;
+            let mut m = ActiveMigration::new(
+                VmdkId(0),
+                DatastoreId(0),
+                DatastoreId(1),
+                MigrationMode::Mirror,
+                N,
+                SimTime::ZERO,
+            );
+            let apply = |m: &mut ActiveMigration, op: u8, block: u64| match op {
+                0 => m.record_mirrored_write(block),
+                1 => {
+                    if let Some(b) = m.next_copy_block() {
+                        m.record_copied(b);
+                    }
+                }
+                _ => {
+                    m.record_stale_write(block);
+                }
+            };
+            for &(op, block) in &pre_ops {
+                apply(&mut m, op, block);
+            }
+            // persist(): checkpoint the durable journal at a random point.
+            let journal = (m.bitmap.clone(), m.cursor);
+            for &(op, block) in &post_ops {
+                apply(&mut m, op, block);
+            }
+            let pre_crash_bitmap = m.bitmap.clone();
+            let pre_crash_dirty = m.dirty.clone();
+
+            // crash → replay().
+            m.crash_restore(Some((&journal.0, journal.1)));
+
+            // Reference: journaled bits that were not invalidated after the
+            // checkpoint, plus every durably-dirty block.
+            let mut expect = journal.0.clone();
+            expect.intersect_with(&pre_crash_bitmap);
+            expect.union_with(&pre_crash_dirty);
+            prop_assert_eq!(&m.bitmap, &expect);
+            prop_assert_eq!(m.cursor, journal.1);
+            // Dirty state is write-ahead durable: untouched by the crash.
+            prop_assert_eq!(&m.dirty, &pre_crash_dirty);
+            for b in 0..N {
+                // blocks_lost == 0 structurally: a dirty block (stale src
+                // copy) is always still tracked at the destination, and the
+                // restore never resurrects an invalidated block.
+                prop_assert!(!m.dirty.get(b) || m.bitmap.get(b));
+                prop_assert!(!m.bitmap.get(b) || pre_crash_bitmap.get(b));
+            }
+
+            // Replay is idempotent: restoring again changes nothing.
+            let once = m.bitmap.clone();
+            let dropped = m.crash_restore(Some((&journal.0, journal.1)));
+            prop_assert_eq!(dropped, 0);
+            prop_assert_eq!(&m.bitmap, &once);
         }
     }
 }

@@ -147,11 +147,25 @@ pub enum IoOutcome {
 /// The device-addressed form of one request: what is left after routing
 /// picked the datastore and translation resolved the physical block.
 #[derive(Debug, Clone, Copy)]
-struct BlockIo {
-    stream: u32,
-    block: u64,
-    size_blocks: u32,
-    op: IoOp,
+pub(crate) struct BlockIo {
+    pub(crate) stream: u32,
+    pub(crate) block: u64,
+    pub(crate) size_blocks: u32,
+    pub(crate) op: IoOp,
+    /// Submit with the migration access class: background tenants (the
+    /// scrubber) are scheduled behind foreground I/O by Policy One/Two.
+    pub(crate) migrated: bool,
+}
+
+/// Who a completed request belongs to — the completion stage keeps
+/// workload accounting (latency stats, availability, backpressure) apart
+/// from background-tenant accounting (scrub progress and interference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Tenant {
+    /// A foreground workload request, by workload index.
+    Workload(usize),
+    /// A background scrub probe.
+    Scrub,
 }
 
 impl NodeSim {
@@ -183,7 +197,7 @@ impl NodeSim {
     /// `latency = hop_pre + device service + hop_post` — so a same-node
     /// request (both hops zero) is priced by exactly the same arithmetic
     /// as a cross-node one.
-    fn service_block(
+    pub(crate) fn service_block(
         &mut self,
         ds: usize,
         io: BlockIo,
@@ -197,7 +211,11 @@ impl NodeSim {
             IoOp::Read => arrival,
         };
         let hop_pre = submit_at.saturating_since(arrival);
-        let req = IoRequest::normal(io.stream, io.block, io.size_blocks, io.op, submit_at);
+        let req = if io.migrated {
+            IoRequest::migrated(io.stream, io.block, io.size_blocks, io.op, submit_at)
+        } else {
+            IoRequest::normal(io.stream, io.block, io.size_blocks, io.op, submit_at)
+        };
         let mut completion = self.submit_with_retry(ds, &req)?;
         if target_node != home_node && io.op == IoOp::Read {
             let done = self.net_transfer(target_node, home_node, bytes, completion.done);
@@ -230,6 +248,7 @@ impl NodeSim {
             block,
             size_blocks: gen.size_blocks,
             op,
+            migrated: false,
         };
         match self.service_block(route.target_ds, io, arrival, home_node) {
             Ok(completion) => IoOutcome::Served {
@@ -287,13 +306,34 @@ impl NodeSim {
         }
     }
 
+    /// The per-tenant half of the completion accounting: workload requests
+    /// feed the foreground latency/availability stats, scrub probes feed
+    /// the scrub progress and interference metrics instead.
+    fn record_completion(&mut self, tenant: Tenant, target_ds: usize, completion: &IoCompletion) {
+        match tenant {
+            Tenant::Workload(wi) => self.record_served(wi, target_ds, completion),
+            Tenant::Scrub => {
+                self.scrub_scanned += 1;
+                self.with_metrics(target_ds, |m, dev, node| {
+                    m.observe(
+                        "scrub_latency_us",
+                        dev,
+                        node,
+                        completion.latency.as_us_f64(),
+                    );
+                });
+            }
+        }
+    }
+
     /// The completion stage: accounting plus the mirror/stale bitmap
     /// bookkeeping the route demanded. Bookkeeping happens only after the
     /// I/O succeeded, so a rejected mirrored write never marks its blocks
-    /// as present at the destination.
-    fn complete_request(
+    /// as present at the destination. The `tenant` discriminator keeps
+    /// background scrub probes out of the foreground workload statistics.
+    pub(crate) fn complete_request(
         &mut self,
-        wi: usize,
+        tenant: Tenant,
         gen: &GenRequest,
         home_node: usize,
         route: &Route,
@@ -305,7 +345,7 @@ impl NodeSim {
                 completion,
                 via_fallback: false,
             } => {
-                self.record_served(wi, ds, &completion);
+                self.record_completion(tenant, ds, &completion);
                 if let Some(mi) = route.mirror_route.or(route.stale_write) {
                     let target_node = self.datastores[ds].node();
                     let m = &mut self.migrations[mi].active;
@@ -331,8 +371,8 @@ impl NodeSim {
                 completion,
                 via_fallback: true,
             } => {
-                self.record_served(wi, ds, &completion);
-                if let Some(mi) = route.mirror_route {
+                self.record_completion(tenant, ds, &completion);
+                if let (Some(mi), Tenant::Workload(wi)) = (route.mirror_route, tenant) {
                     let vmdk = self.workloads[wi].vmdk.id();
                     emit(&self.trace, || TraceEvent::MirrorFallback {
                         t: completion.done.as_ns(),
@@ -353,12 +393,15 @@ impl NodeSim {
                     }
                 }
             }
-            IoOutcome::Failed { .. } => {
-                self.failed_requests += 1;
-                self.with_metrics(route.target_ds, |m, dev, node| {
-                    m.counter_inc("failed_requests", dev, node)
-                });
-            }
+            IoOutcome::Failed { .. } => match tenant {
+                Tenant::Workload(_) => {
+                    self.failed_requests += 1;
+                    self.with_metrics(route.target_ds, |m, dev, node| {
+                        m.counter_inc("failed_requests", dev, node)
+                    });
+                }
+                Tenant::Scrub => self.scrub_errors += 1,
+            },
             IoOutcome::Dropped => {}
         }
     }
@@ -381,6 +424,20 @@ impl NodeSim {
             gen.offset,
             &self.migrations,
         );
+        // A request whose compute node or target device node is powered
+        // off fails immediately — there is no machine to retry from — and
+        // dents availability without churning the device retry path.
+        let target_node = self.datastores[route.target_ds].node();
+        if self.crashed[home_node] || self.crashed[target_node] {
+            self.failed_requests += 1;
+            self.with_metrics(route.target_ds, |m, dev, node| {
+                m.counter_inc("failed_requests", dev, node)
+            });
+            let next = self.workloads[wi].generator.next_request();
+            self.workloads[wi].next = next;
+            self.ready.push(next.0, wi as u32);
+            return;
+        }
         let outcome = self.drive_request(vmdk, &gen, op, arrival, home_node, &route);
         if matches!(outcome, IoOutcome::Dropped) {
             // Should not happen; drop the request defensively.
@@ -389,7 +446,7 @@ impl NodeSim {
             self.ready.push(next.0, wi as u32);
             return;
         }
-        self.complete_request(wi, &gen, home_node, &route, outcome);
+        self.complete_request(Tenant::Workload(wi), &gen, home_node, &route, outcome);
         let next = self.workloads[wi].generator.next_request();
         self.workloads[wi].next = next;
         self.ready.push(next.0, wi as u32);

@@ -36,7 +36,7 @@ impl NodeSim {
     /// stable). Only the past is consulted — the manager gets no fault
     /// oracle.
     pub(crate) fn store_health(&self, i: usize) -> DeviceHealth {
-        let Some(plan) = &self.cfg.faults else {
+        let Some(plan) = &self.effective_faults else {
             return DeviceHealth::Healthy;
         };
         let schedule = plan.device(i);
@@ -147,7 +147,9 @@ impl NodeSim {
         // more than waiting (bounded laziness).
         for m in &mut self.migrations {
             if m.active.mode == MigrationMode::Lazy {
-                let src_obs = &observations[m.active.src.0];
+                let Some(src_obs) = observations.get(m.active.src.0) else {
+                    continue;
+                };
                 let src_kind = src_obs.kind;
                 let baseline = self.manager.baseline_us(src_kind);
                 let calm = src_obs.epoch.io_count() < 10
@@ -233,6 +235,9 @@ impl NodeSim {
                 self.start_migration(d);
             }
         }
+        // Epoch-boundary checkpoint of every node's durable state (a no-op
+        // without a node fault plan).
+        self.persist_durable();
     }
 
     pub(crate) fn nvdimm_device(&self, node: usize) -> Option<&NvdimmDevice> {

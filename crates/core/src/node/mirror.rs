@@ -179,6 +179,8 @@ impl NodeSim {
                 w.ds = dst;
             }
         }
+        // Nothing left to replay for this migration.
+        self.journal_remove(vmdk.0);
     }
 
     /// Starts a migration immediately, bypassing the manager's decision
@@ -186,6 +188,9 @@ impl NodeSim {
     /// to force a specific migration into a known window (e.g. a scheduled
     /// device outage). A no-op when the VMDK is already migrating.
     pub fn start_migration(&mut self, decision: MigrationDecision) {
+        if decision.src.0 >= self.datastores.len() || decision.dst.0 >= self.datastores.len() {
+            return; // harness passed a datastore that does not exist
+        }
         if self
             .migrations
             .iter()
@@ -261,6 +266,9 @@ impl NodeSim {
             active,
             next_copy_at: self.now,
         });
+        // Journal the fresh migration before any copy round runs: a crash
+        // before the first checkpoint must still find the empty bitmap.
+        self.persist_durable();
     }
 
     /// Aborts a suspended migration: dirty blocks (whose only current copy
@@ -314,6 +322,7 @@ impl NodeSim {
         // The rolled-back copy was real interference; cool down as after a
         // completed migration.
         self.decision_cooldown_until = self.now + self.cfg.epoch * 3;
+        self.journal_remove(vmdk.0);
     }
 
     /// Epoch-boundary fault handling: suspend migrations with an offline
@@ -321,7 +330,7 @@ impl NodeSim {
     /// the outage was short, abort and roll back if it overstayed
     /// [`super::NodeConfig::abort_grace`].
     pub(crate) fn manage_faults(&mut self) {
-        if self.cfg.faults.is_none() {
+        if self.effective_faults.is_none() {
             return;
         }
         let health: Vec<DeviceHealth> = (0..self.datastores.len())

@@ -33,8 +33,10 @@
 pub mod datapath;
 pub mod epoch;
 pub mod mirror;
+pub mod recovery;
 pub mod report;
 pub mod retry;
+pub mod scrub;
 
 #[cfg(test)]
 mod tests;
@@ -49,14 +51,16 @@ use crate::vmdk::{Vmdk, VmdkId};
 use nvhsm_device::{
     HddConfig, HddDevice, MigrationTuning, NvdimmConfig, NvdimmDevice, SsdConfig, SsdDevice,
 };
-use nvhsm_fault::FaultPlan;
+use nvhsm_fault::{FaultPlan, NodeFaultPlan};
 use nvhsm_model::Features;
 use nvhsm_obs::{emit, MetricsRegistry, SharedSink, TraceEvent};
 use nvhsm_sim::{EventQueue, Histogram, OnlineStats, SimDuration, SimRng, SimTime};
 use nvhsm_workload::{IoGenerator, SpecProgram, SpecTraffic, WorkloadProfile};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 pub use datapath::IoOutcome;
+pub use recovery::RecoveryPolicy;
 pub use report::{DeviceReport, MigrationEvent, NodeReport, PlacementError};
 
 /// Node simulation configuration.
@@ -106,6 +110,19 @@ pub struct NodeConfig {
     /// How long a datastore stays `Degraded` (excluded from placement and
     /// balancing, eligible for evacuation) after its last offline window.
     pub degraded_cooldown: SimDuration,
+    /// Node-granularity power-loss plan (outages take every device on the
+    /// node offline and drop its volatile state) plus latent block faults
+    /// for the scrubber. `None` disables whole-node crash simulation
+    /// byte-identically to builds without it.
+    pub node_faults: Option<NodeFaultPlan>,
+    /// What replay does with journaled migrations once their endpoints
+    /// recover from a node crash.
+    pub recovery: RecoveryPolicy,
+    /// Background scrub rate in blocks per second; 0 disables the
+    /// scrubber.
+    pub scrub_rate: u64,
+    /// Blocks probed per scrub tick.
+    pub scrub_batch: u32,
 }
 
 impl NodeConfig {
@@ -132,6 +149,10 @@ impl NodeConfig {
             retry_backoff: SimDuration::from_us(200),
             abort_grace: SimDuration::from_ms(400),
             degraded_cooldown: SimDuration::from_ms(1000),
+            node_faults: None,
+            recovery: RecoveryPolicy::Resume,
+            scrub_rate: 0,
+            scrub_batch: 8,
         }
     }
 }
@@ -213,6 +234,28 @@ pub struct NodeSim {
     migration_log: Arc<Vec<MigrationEvent>>,
     last_cache_counts: (u64, u64),
     nvdimm_epoch_latency: OnlineStats,
+    // Whole-node crash/recovery state. `effective_faults` is the composed
+    // device plan (cfg.faults with node outages overlaid as offline
+    // windows) that every fault consumer reads; with no node plan it is a
+    // clone of cfg.faults, keeping behavior byte-identical.
+    effective_faults: Option<FaultPlan>,
+    crashed: Vec<bool>,
+    node_events: Vec<recovery::NodeEvent>,
+    node_event_cursor: usize,
+    durable: Vec<recovery::DurableNodeState>,
+    node_crashes: u64,
+    replays: u64,
+    recovery_time: SimDuration,
+    // Scrubber state.
+    next_scrub_at: SimTime,
+    scrub_ws: usize,
+    scrub_offsets: Vec<u64>,
+    corrupt: Vec<BTreeSet<u64>>,
+    latent_cursor: Vec<usize>,
+    scrub_scanned: u64,
+    scrub_detected: u64,
+    scrub_repaired: u64,
+    scrub_errors: u64,
     // Observability. Both default to off; the simulation's numeric results
     // are identical either way.
     trace: Option<SharedSink>,
@@ -281,7 +324,29 @@ impl NodeSim {
             },
             nodes,
         );
-        if let Some(plan) = &cfg.faults {
+        // Compose the effective device fault plan: node-granularity power
+        // loss takes every device on the node offline, so each node's
+        // outage windows are overlaid onto its three device schedules.
+        // Without a node plan this is a straight clone of cfg.faults,
+        // keeping fault-free and device-fault-only runs byte-identical.
+        let effective_faults = match &cfg.node_faults {
+            None => cfg.faults.clone(),
+            Some(plan) => {
+                let schedules = (0..nodes * 3)
+                    .map(|i| {
+                        let dev = cfg
+                            .faults
+                            .as_ref()
+                            .map(|p| p.device(i).clone())
+                            .unwrap_or_default();
+                        dev.overlay_offline(plan.node(i / 3).outages())
+                    })
+                    .collect();
+                let seed = cfg.faults.as_ref().map(|p| p.seed()).unwrap_or(plan.seed());
+                Some(FaultPlan::from_schedules(schedules, seed))
+            }
+        };
+        if let Some(plan) = &effective_faults {
             // Hook RNGs derive from the plan seed and the datastore index
             // only, so fault draws never perturb the simulation's own RNG
             // streams (and vice versa) — the backbone of cross-worker
@@ -290,6 +355,19 @@ impl NodeSim {
                 ds.device_mut().install_fault_hook(Some(plan.hook_for(i)));
             }
         }
+        let node_events = cfg
+            .node_faults
+            .as_ref()
+            .map(|p| recovery::node_events_from(p, nodes))
+            .unwrap_or_default();
+        let next_scrub_at = if cfg.scrub_rate > 0 {
+            SimTime::ZERO
+                + SimDuration::from_ns(
+                    (cfg.scrub_batch as u64).saturating_mul(1_000_000_000) / cfg.scrub_rate.max(1),
+                )
+        } else {
+            SimTime::MAX
+        };
         let spec = cfg
             .spec
             .map(|p| {
@@ -343,6 +421,23 @@ impl NodeSim {
             migration_log: Arc::new(Vec::new()),
             last_cache_counts: (0, 0),
             nvdimm_epoch_latency: OnlineStats::new(),
+            effective_faults,
+            crashed: vec![false; nodes],
+            node_events,
+            node_event_cursor: 0,
+            durable: vec![recovery::DurableNodeState::default(); nodes],
+            node_crashes: 0,
+            replays: 0,
+            recovery_time: SimDuration::ZERO,
+            next_scrub_at,
+            scrub_ws: 0,
+            scrub_offsets: Vec::new(),
+            corrupt: vec![BTreeSet::new(); nodes * 3],
+            latent_cursor: vec![0; nodes],
+            scrub_scanned: 0,
+            scrub_detected: 0,
+            scrub_repaired: 0,
+            scrub_errors: 0,
             trace: None,
             metrics: None,
             epoch_ordinal: 0,
@@ -614,6 +709,13 @@ impl NodeSim {
         self.blocks_lost = 0;
         self.remote_migrations = 0;
         self.placements_rejected = 0;
+        self.node_crashes = 0;
+        self.replays = 0;
+        self.recovery_time = SimDuration::ZERO;
+        self.scrub_scanned = 0;
+        self.scrub_detected = 0;
+        self.scrub_repaired = 0;
+        self.scrub_errors = 0;
         // Traffic counters restart with the measured window; the wire's
         // queueing state (busy-until, in-flight window) carries over.
         self.net.reset_stats();
@@ -663,11 +765,18 @@ impl NodeSim {
             if let Some(wt) = self.ready.next_time() {
                 t = t.min(wt);
             }
+            if let Some(ne) = self.next_node_event() {
+                t = t.min(ne);
+            }
+            t = t.min(self.next_scrub_at);
             if t >= until {
                 break;
             }
             self.now = t;
 
+            // Node power events first: a crash at t must dark its node
+            // before the same instant's epoch or copy work runs.
+            self.process_node_events();
             if t == self.next_util_update {
                 self.update_bus_utilization();
                 self.next_util_update = t + self.cfg.epoch / 4;
@@ -682,6 +791,10 @@ impl NodeSim {
                 .position(|m| m.active.copy_enabled && !m.active.suspended() && m.next_copy_at == t)
             {
                 self.copy_round(mi);
+            }
+            if t == self.next_scrub_at {
+                self.scrub_tick();
+                self.next_scrub_at = t + self.scrub_interval();
             }
             let mut batch = std::mem::take(&mut self.ready_buf);
             batch.clear();

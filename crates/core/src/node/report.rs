@@ -70,6 +70,20 @@ pub struct NodeReport {
     pub blocks_lost: u64,
     /// Migrations whose endpoints lived on different nodes.
     pub remote_migrations: u64,
+    /// Whole-node power-loss events processed.
+    pub node_crashes: u64,
+    /// Journal replay passes completed (one per node recovery).
+    pub replays: u64,
+    /// Total crash-to-ReplayComplete recovery time across all replays.
+    pub recovery_time: SimDuration,
+    /// Blocks probed by the background scrubber.
+    pub scrub_scanned: u64,
+    /// Latent-corrupt blocks the scrubber detected.
+    pub scrub_detected: u64,
+    /// Detected blocks repaired (from the migration mirror or in place).
+    pub scrub_repaired: u64,
+    /// Scrub probes that failed at the device (retries exhausted/offline).
+    pub scrub_errors: u64,
     /// Policy-driven admissions rejected because no datastore could hold
     /// the VMDK.
     pub placements_rejected: u64,
@@ -210,6 +224,13 @@ impl NodeSim {
             migrations_resumed: self.migrations_resumed,
             blocks_lost: self.blocks_lost,
             remote_migrations: self.remote_migrations,
+            node_crashes: self.node_crashes,
+            replays: self.replays,
+            recovery_time: self.recovery_time,
+            scrub_scanned: self.scrub_scanned,
+            scrub_detected: self.scrub_detected,
+            scrub_repaired: self.scrub_repaired,
+            scrub_errors: self.scrub_errors,
             placements_rejected: self.placements_rejected,
             net_bytes: self.net.total_bytes(),
             // O(1) handle copies — see the NodeReport field docs.

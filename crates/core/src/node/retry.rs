@@ -65,8 +65,7 @@ impl NodeSim {
                     let mut next = e.at() + self.cfg.retry_backoff * (1u64 << attempt.min(8));
                     if !e.is_retryable() {
                         if let Some(until) = self
-                            .cfg
-                            .faults
+                            .effective_faults
                             .as_ref()
                             .and_then(|p| p.device(ds).offline_until(e.at()))
                         {

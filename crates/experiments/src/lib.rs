@@ -27,9 +27,11 @@
 //! | `characterization` | Table 5 — realized workload characteristics |
 //! | `faults`  | robustness sweep — availability & migration recovery under injected faults |
 //! | `cluster` | cross-node migration — node count × NIC bandwidth × policy over the modeled interconnect |
+//! | `crash`   | whole-node power loss — crash rate × recovery policy × scrub rate |
 
 pub mod characterization;
 pub mod cluster;
+pub mod crash;
 pub mod faults;
 pub mod fig10;
 pub mod fig12;
@@ -54,7 +56,7 @@ pub mod tau;
 pub use harness::{ExperimentResult, Row, Scale};
 
 /// All experiment ids, in paper order.
-pub const ALL_EXPERIMENTS: [&str; 19] = [
+pub const ALL_EXPERIMENTS: [&str; 20] = [
     "table1",
     "table2",
     "fig4",
@@ -74,6 +76,7 @@ pub const ALL_EXPERIMENTS: [&str; 19] = [
     "fig9",
     "faults",
     "cluster",
+    "crash",
 ];
 
 /// Runs one experiment by id.
@@ -102,6 +105,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Result<ExperimentResult, String
         "characterization" => Ok(characterization::run(scale)),
         "faults" => Ok(faults::run(scale)),
         "cluster" => Ok(cluster::run(scale)),
+        "crash" => Ok(crash::run(scale)),
         other => Err(format!(
             "unknown experiment '{other}'; known: {}",
             ALL_EXPERIMENTS.join(", ")

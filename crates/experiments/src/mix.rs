@@ -16,8 +16,8 @@
 
 use crate::harness::Scale;
 use crate::obs::{ObsOptions, ScenarioObs, TRACE_RING_CAPACITY};
-use nvhsm_core::{NodeConfig, NodeReport, NodeSim, PolicyKind};
-use nvhsm_fault::{FaultIntensity, FaultPlan};
+use nvhsm_core::{NodeConfig, NodeReport, NodeSim, PolicyKind, RecoveryPolicy};
+use nvhsm_fault::{CrashRate, FaultIntensity, FaultPlan, NodeFaultPlan};
 use nvhsm_obs::{drain_ring_stats, shared, MetricsSnapshot, RingSink, TraceEvent};
 use nvhsm_sim::SimDuration;
 use nvhsm_workload::hibench::all_profiles;
@@ -46,6 +46,24 @@ pub struct MixParams {
     /// runs fault-free and byte-identical to builds without the fault
     /// subsystem.
     pub fault_intensity: Option<FaultIntensity>,
+    /// Whole-node crash/recovery/scrub setup. `Some(_)` generates a
+    /// deterministic [`NodeFaultPlan`] (seeded from `seed`) covering the
+    /// whole run; `None` disables node crashes and the scrubber
+    /// byte-identically to builds without them.
+    pub crash: Option<CrashSetup>,
+}
+
+/// Node-crash, recovery-policy and scrubber knobs of one mix run.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashSetup {
+    /// Whole-node power-loss rate.
+    pub rate: CrashRate,
+    /// What journal replay does with suspended migrations.
+    pub recovery: RecoveryPolicy,
+    /// Background scrub rate, blocks per second (0 = scrubber off).
+    pub scrub_rate: u64,
+    /// Mean gap between latent block faults, ms (`None` = no latents).
+    pub latent_gap_ms: Option<u64>,
 }
 
 impl MixParams {
@@ -60,6 +78,7 @@ impl MixParams {
             seed: 42,
             arrivals: false,
             fault_intensity: None,
+            crash: None,
         }
     }
 
@@ -146,6 +165,18 @@ pub fn run_mix_observed(
             plan_horizon,
             intensity,
         ));
+    }
+    if let Some(crash) = params.crash {
+        let plan_horizon = SimDuration::from_secs(12 * scale.horizon_secs());
+        cfg.node_faults = Some(NodeFaultPlan::generate(
+            params.seed,
+            params.nodes,
+            plan_horizon,
+            crash.rate,
+            crash.latent_gap_ms.map(SimDuration::from_ms),
+        ));
+        cfg.recovery = crash.recovery;
+        cfg.scrub_rate = crash.scrub_rate;
     }
     let mut sim = NodeSim::with_nodes(cfg, params.nodes, params.seed);
 

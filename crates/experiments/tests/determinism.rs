@@ -4,7 +4,7 @@
 
 use nvhsm_device::{IoOp, IoRequest, SsdConfig, SsdDevice, StorageDevice};
 use nvhsm_experiments::obs::{self, ObsOptions};
-use nvhsm_experiments::{cluster, faults, fig12, Scale};
+use nvhsm_experiments::{cluster, crash, faults, fig12, Scale};
 use nvhsm_obs::to_jsonl;
 use nvhsm_sim::{parallel, SimDuration, SimRng, SimTime};
 use std::sync::Mutex;
@@ -42,6 +42,27 @@ fn fault_injection_is_byte_identical_across_job_counts() {
     let serial = faults::run(Scale::Quick);
     parallel::set_jobs(Some(4));
     let parallel_run = faults::run(Scale::Quick);
+    parallel::set_jobs(None);
+
+    assert_eq!(serial.render(), parallel_run.render());
+    assert_eq!(serial.to_csv(), parallel_run.to_csv());
+    assert_eq!(
+        serde_json::to_string(&serial).expect("serializable"),
+        serde_json::to_string(&parallel_run).expect("serializable"),
+    );
+}
+
+#[test]
+fn crash_experiment_is_byte_identical_across_job_counts() {
+    // Node fault schedules, replay ordering and scrub probes must derive
+    // only from the plan seed and the simulation clock, never from worker
+    // scheduling: a crash/recovery sequence seen at --jobs 4 reproduces
+    // exactly at --jobs 1.
+    let _guard = JOBS_LOCK.lock().unwrap();
+    parallel::set_jobs(Some(1));
+    let serial = crash::run(Scale::Quick);
+    parallel::set_jobs(Some(4));
+    let parallel_run = crash::run(Scale::Quick);
     parallel::set_jobs(None);
 
     assert_eq!(serial.render(), parallel_run.render());

@@ -49,6 +49,10 @@
 use nvhsm_sim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
+mod node;
+
+pub use node::{CrashRate, LatentFault, NodeFaultPlan, NodeFaultSchedule};
+
 /// What a device does to requests inside one fault window.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum FaultKind {
@@ -98,22 +102,86 @@ impl DeviceFaultSchedule {
         Self::default()
     }
 
-    /// Builds a schedule from windows, sorting them by start time.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any two windows overlap after sorting.
+    /// Builds a schedule from windows, sorting them by start time and
+    /// resolving overlaps deterministically: the earlier-starting window
+    /// wins, a later window overlapping it is clipped to begin at the
+    /// earlier window's end, and a window fully covered by an earlier one
+    /// is dropped. Ties on the start instant keep input order (the sort is
+    /// stable), so composed node+device plans always produce the same
+    /// schedule regardless of which layer contributed which window.
+    /// Empty windows (`from >= until`) are discarded.
     pub fn from_windows(mut windows: Vec<FaultWindow>) -> Self {
         windows.sort_by_key(|w| w.from);
-        for pair in windows.windows(2) {
-            assert!(
-                pair[0].until <= pair[1].from,
-                "fault windows overlap: {:?} and {:?}",
-                pair[0],
-                pair[1]
-            );
+        let mut merged: Vec<FaultWindow> = Vec::with_capacity(windows.len());
+        for mut w in windows {
+            if let Some(prev) = merged.last() {
+                if w.from < prev.until {
+                    if w.until <= prev.until {
+                        continue; // fully covered: earlier-start wins
+                    }
+                    w.from = prev.until; // keep only the uncovered tail
+                }
+            }
+            if w.from < w.until {
+                merged.push(w);
+            }
         }
-        DeviceFaultSchedule { windows }
+        DeviceFaultSchedule { windows: merged }
+    }
+
+    /// Composes node-granularity power-loss windows into this device
+    /// schedule: each `[from, until)` outage becomes an [`FaultKind::Offline`]
+    /// window that takes precedence, and the device's own windows are
+    /// clipped to the gaps between outages (split in two when an outage
+    /// lands mid-window, dropped when fully covered). `outages` must be
+    /// sorted and disjoint, as [`crate::NodeFaultSchedule`] guarantees.
+    pub fn overlay_offline(&self, outages: &[(SimTime, SimTime)]) -> DeviceFaultSchedule {
+        debug_assert!(
+            outages.windows(2).all(|p| p[0].1 <= p[1].0),
+            "node outages must be sorted and disjoint"
+        );
+        let mut out: Vec<FaultWindow> = outages
+            .iter()
+            .filter(|(from, until)| from < until)
+            .map(|&(from, until)| FaultWindow {
+                from,
+                until,
+                kind: FaultKind::Offline,
+            })
+            .collect();
+        for w in &self.windows {
+            // Subtract every outage from the device window, keeping the
+            // fragments that fall in the gaps.
+            let mut cursor = w.from;
+            for &(of, ou) in outages {
+                if ou <= cursor {
+                    continue;
+                }
+                if of >= w.until {
+                    break;
+                }
+                if of > cursor {
+                    out.push(FaultWindow {
+                        from: cursor,
+                        until: of.min(w.until),
+                        kind: w.kind,
+                    });
+                }
+                cursor = cursor.max(ou);
+                if cursor >= w.until {
+                    break;
+                }
+            }
+            if cursor < w.until {
+                out.push(FaultWindow {
+                    from: cursor,
+                    until: w.until,
+                    kind: w.kind,
+                });
+            }
+        }
+        out.sort_by_key(|w| w.from);
+        DeviceFaultSchedule { windows: out }
     }
 
     /// The windows, sorted by start time.
@@ -461,12 +529,62 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "overlap")]
-    fn overlapping_windows_rejected() {
-        let _ = DeviceFaultSchedule::from_windows(vec![
-            window(10, 30, FaultKind::Stall),
+    fn overlapping_windows_merge_deterministically() {
+        // Earlier start wins; the later window keeps only its uncovered
+        // tail. Fully covered and empty windows disappear.
+        let s = DeviceFaultSchedule::from_windows(vec![
             window(20, 40, FaultKind::Offline),
+            window(10, 30, FaultKind::Stall),
+            window(12, 25, FaultKind::LatencySpike { factor: 2.0 }), // covered
+            window(50, 50, FaultKind::Stall),                        // empty
         ]);
+        assert_eq!(
+            s.windows(),
+            &[
+                window(10, 30, FaultKind::Stall),
+                window(30, 40, FaultKind::Offline)
+            ]
+        );
+        // The result is a valid schedule: sorted and disjoint.
+        for pair in s.windows().windows(2) {
+            assert!(pair[0].until <= pair[1].from, "{pair:?}");
+        }
+    }
+
+    #[test]
+    fn overlay_offline_splits_and_swallows_device_windows() {
+        let dev = DeviceFaultSchedule::from_windows(vec![
+            window(0, 100, FaultKind::LatencySpike { factor: 3.0 }),
+            window(150, 170, FaultKind::Stall),
+            window(200, 240, FaultKind::Transient { fail_prob: 0.5 }),
+        ]);
+        let outages = [
+            (SimTime::from_ms(30), SimTime::from_ms(60)),
+            (SimTime::from_ms(140), SimTime::from_ms(180)),
+        ];
+        let s = dev.overlay_offline(&outages);
+        assert_eq!(
+            s.windows(),
+            &[
+                // Spike split around the first outage.
+                window(0, 30, FaultKind::LatencySpike { factor: 3.0 }),
+                window(30, 60, FaultKind::Offline),
+                window(60, 100, FaultKind::LatencySpike { factor: 3.0 }),
+                // Stall fully swallowed by the second outage.
+                window(140, 180, FaultKind::Offline),
+                // Transient window untouched.
+                window(200, 240, FaultKind::Transient { fail_prob: 0.5 }),
+            ]
+        );
+        for pair in s.windows().windows(2) {
+            assert!(pair[0].until <= pair[1].from, "{pair:?}");
+        }
+        // No outages: the overlay is the identity.
+        assert_eq!(dev.overlay_offline(&[]), dev);
+        // Overlay onto a healthy device yields pure offline windows.
+        let bare = DeviceFaultSchedule::healthy().overlay_offline(&outages);
+        assert!(bare.offline_at(SimTime::from_ms(45)));
+        assert!(!bare.offline_at(SimTime::from_ms(100)));
     }
 
     #[test]

@@ -1,0 +1,433 @@
+//! Node-granularity fault plans: whole-node power-loss windows plus latent
+//! block faults, both seeded and deterministic.
+//!
+//! A [`NodeFaultPlan`] holds one [`NodeFaultSchedule`] per node. Each
+//! schedule carries:
+//!
+//! * **power-loss outages** — `[from, until)` windows during which every
+//!   device on the node is unreachable and all volatile node state is
+//!   lost. The node simulation composes them into the device-level
+//!   [`crate::FaultPlan`] via [`crate::DeviceFaultSchedule::overlay_offline`]
+//!   and drives crash/replay recovery from the window edges.
+//! * **latent faults** — silently corrupted blocks (media bit rot) that
+//!   only a background scrubber detects. Each event names a device slot on
+//!   the node (0 = NVDIMM, 1 = SSD, 2 = HDD) and a capacity fraction; the
+//!   consumer maps the fraction onto the device's physical block range, so
+//!   generation never needs device geometry.
+//!
+//! Plans are generated through the same pre-forked SplitMix64 streams as
+//! [`crate::FaultPlan::generate`]: one stream per node, split again into an
+//! outage stream and a latent stream, so a plan replays byte-identically
+//! across `--jobs` worker counts and adding a node never perturbs the
+//! windows drawn for the others.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvhsm_fault::{CrashRate, NodeFaultPlan};
+//! use nvhsm_sim::SimDuration;
+//!
+//! let horizon = SimDuration::from_secs(8);
+//! let a = NodeFaultPlan::generate(7, 2, horizon, CrashRate::Frequent, None);
+//! let b = NodeFaultPlan::generate(7, 2, horizon, CrashRate::Frequent, None);
+//! assert_eq!(a, b); // same seed, same plan — always
+//! assert!(!a.node(0).outages().is_empty());
+//! assert!(NodeFaultPlan::generate(7, 2, horizon, CrashRate::None, None)
+//!     .node(0)
+//!     .outages()
+//!     .is_empty());
+//! ```
+
+use nvhsm_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Preset whole-node crash rates for [`NodeFaultPlan::generate`] — the
+/// axis the `crash` experiment sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CrashRate {
+    /// No power-loss events (the control arm).
+    None,
+    /// Occasional short outages — roughly one per handful of seconds.
+    Rare,
+    /// Frequent outages, several per simulated second horizon.
+    Frequent,
+}
+
+impl CrashRate {
+    /// All presets, calmest first.
+    pub const ALL: [CrashRate; 3] = [CrashRate::None, CrashRate::Rare, CrashRate::Frequent];
+
+    /// Mean gap between power-loss events; `None` disables them.
+    fn mean_gap(self) -> Option<SimDuration> {
+        match self {
+            CrashRate::None => None,
+            CrashRate::Rare => Some(SimDuration::from_ms(6_000)),
+            CrashRate::Frequent => Some(SimDuration::from_ms(1_600)),
+        }
+    }
+
+    /// Outage length range in milliseconds.
+    fn outage_ms(self) -> (f64, f64) {
+        match self {
+            CrashRate::Frequent => (150.0, 450.0),
+            _ => (150.0, 400.0),
+        }
+    }
+}
+
+impl std::fmt::Display for CrashRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrashRate::None => write!(f, "none"),
+            CrashRate::Rare => write!(f, "rare"),
+            CrashRate::Frequent => write!(f, "frequent"),
+        }
+    }
+}
+
+/// One latent block fault: at `at`, a block on device slot `slot` of the
+/// node silently corrupts. `frac` picks the physical block as a fraction
+/// of the device's capacity, so the plan stays geometry-free.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatentFault {
+    /// When the corruption lands.
+    pub at: SimTime,
+    /// Device slot on the node (0 = NVDIMM, 1 = SSD, 2 = HDD).
+    pub slot: u8,
+    /// Position within the device as a capacity fraction in `[0, 1)`.
+    pub frac: f64,
+}
+
+/// The fault schedule of one node: sorted, disjoint power-loss outages
+/// plus time-ordered latent block faults.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeFaultSchedule {
+    outages: Vec<(SimTime, SimTime)>,
+    latents: Vec<LatentFault>,
+}
+
+impl NodeFaultSchedule {
+    /// An always-healthy schedule.
+    pub fn healthy() -> Self {
+        Self::default()
+    }
+
+    /// Builds a schedule from explicit outages, sorting them and merging
+    /// any that overlap (outages are all the same kind, so the union is
+    /// the only sensible composition). Empty windows are discarded.
+    pub fn from_outages(mut outages: Vec<(SimTime, SimTime)>) -> Self {
+        outages.retain(|(from, until)| from < until);
+        outages.sort_by_key(|&(from, _)| from);
+        let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(outages.len());
+        for (from, until) in outages {
+            match merged.last_mut() {
+                Some(prev) if from <= prev.1 => prev.1 = prev.1.max(until),
+                _ => merged.push((from, until)),
+            }
+        }
+        NodeFaultSchedule {
+            outages: merged,
+            latents: Vec::new(),
+        }
+    }
+
+    /// Attaches latent faults (sorted by time) to the schedule.
+    pub fn with_latents(mut self, mut latents: Vec<LatentFault>) -> Self {
+        latents.sort_by_key(|l| l.at);
+        self.latents = latents;
+        self
+    }
+
+    /// The power-loss windows, sorted and disjoint.
+    pub fn outages(&self) -> &[(SimTime, SimTime)] {
+        &self.outages
+    }
+
+    /// The latent block faults, sorted by time.
+    pub fn latents(&self) -> &[LatentFault] {
+        &self.latents
+    }
+
+    /// Whether the node is powered off at `at`.
+    pub fn down_at(&self, at: SimTime) -> bool {
+        self.down_until(at).is_some()
+    }
+
+    /// End of the outage active at `at`, if the node is down.
+    pub fn down_until(&self, at: SimTime) -> Option<SimTime> {
+        let i = self.outages.partition_point(|&(_, until)| until <= at);
+        self.outages
+            .get(i)
+            .filter(|&&(from, until)| from <= at && at < until)
+            .map(|&(_, until)| until)
+    }
+
+    /// Total powered-off time over the plan.
+    pub fn downtime(&self) -> SimDuration {
+        self.outages
+            .iter()
+            .fold(SimDuration::ZERO, |acc, &(from, until)| {
+                acc + until.saturating_since(from)
+            })
+    }
+}
+
+/// A complete node fault plan: one schedule per node index.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeFaultPlan {
+    nodes: Vec<NodeFaultSchedule>,
+    seed: u64,
+}
+
+impl NodeFaultPlan {
+    /// A plan with no faults on `nodes` nodes.
+    pub fn healthy(nodes: usize) -> Self {
+        NodeFaultPlan {
+            nodes: vec![NodeFaultSchedule::healthy(); nodes],
+            seed: 0,
+        }
+    }
+
+    /// Builds a plan from explicit per-node schedules.
+    pub fn from_schedules(nodes: Vec<NodeFaultSchedule>, seed: u64) -> Self {
+        NodeFaultPlan { nodes, seed }
+    }
+
+    /// Generates a plan over `[0, horizon)` for `nodes` nodes. Power-loss
+    /// windows follow `rate`; `latent_gap` sets the mean time between
+    /// latent block faults per node (`None` disables them). Each node
+    /// draws from its own pre-forked RNG stream, so the plan for node *i*
+    /// is independent of how many other nodes exist, and the outage stream
+    /// is independent of whether latents are enabled.
+    pub fn generate(
+        seed: u64,
+        nodes: usize,
+        horizon: SimDuration,
+        rate: CrashRate,
+        latent_gap: Option<SimDuration>,
+    ) -> Self {
+        let mut master = SimRng::new(seed ^ 0xC4A5_11FA_0707_0002);
+        let schedules = (0..nodes)
+            .map(|_| {
+                let mut node_rng = master.fork();
+                let mut outage_rng = node_rng.fork();
+                let mut latent_rng = node_rng.fork();
+                let mut schedule = Self::generate_outages(&mut outage_rng, horizon, rate);
+                if let Some(gap) = latent_gap {
+                    schedule.latents = Self::generate_latents(&mut latent_rng, horizon, gap);
+                }
+                schedule
+            })
+            .collect();
+        NodeFaultPlan {
+            nodes: schedules,
+            seed,
+        }
+    }
+
+    fn generate_outages(
+        rng: &mut SimRng,
+        horizon: SimDuration,
+        rate: CrashRate,
+    ) -> NodeFaultSchedule {
+        let Some(gap) = rate.mean_gap() else {
+            return NodeFaultSchedule::healthy();
+        };
+        let mut outages = Vec::new();
+        let mut at =
+            SimTime::ZERO + SimDuration::from_us_f64(rng.exponential(gap.as_ms_f64()) * 1_000.0);
+        while at < SimTime::ZERO + horizon {
+            let (lo, hi) = rate.outage_ms();
+            let len = SimDuration::from_us_f64(rng.uniform_range(lo, hi) * 1_000.0);
+            outages.push((at, at + len));
+            let gap_ms = rng.exponential(gap.as_ms_f64());
+            at = at + len + SimDuration::from_us_f64(gap_ms * 1_000.0);
+        }
+        NodeFaultSchedule {
+            outages,
+            latents: Vec::new(),
+        }
+    }
+
+    fn generate_latents(
+        rng: &mut SimRng,
+        horizon: SimDuration,
+        gap: SimDuration,
+    ) -> Vec<LatentFault> {
+        let mut latents = Vec::new();
+        let mut at =
+            SimTime::ZERO + SimDuration::from_us_f64(rng.exponential(gap.as_ms_f64()) * 1_000.0);
+        while at < SimTime::ZERO + horizon {
+            latents.push(LatentFault {
+                at,
+                slot: rng.below(3) as u8,
+                frac: rng.uniform(),
+            });
+            let gap_ms = rng.exponential(gap.as_ms_f64());
+            at += SimDuration::from_us_f64(gap_ms * 1_000.0);
+        }
+        latents
+    }
+
+    /// The seed the plan was generated from (0 for hand-built plans).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of node schedules.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the plan covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The schedule for node `index`; nodes beyond the plan are healthy.
+    pub fn node(&self, index: usize) -> &NodeFaultSchedule {
+        static HEALTHY: NodeFaultSchedule = NodeFaultSchedule {
+            outages: Vec::new(),
+            latents: Vec::new(),
+        };
+        self.nodes.get(index).unwrap_or(&HEALTHY)
+    }
+
+    /// Total power-loss events scheduled across the plan.
+    pub fn total_outages(&self) -> usize {
+        self.nodes.iter().map(|n| n.outages.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceFaultSchedule, FaultKind, FaultWindow};
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_ms(v)
+    }
+
+    #[test]
+    fn from_outages_sorts_and_merges() {
+        let s = NodeFaultSchedule::from_outages(vec![
+            (ms(50), ms(80)),
+            (ms(10), ms(30)),
+            (ms(25), ms(60)),
+            (ms(90), ms(90)), // empty: dropped
+        ]);
+        assert_eq!(s.outages(), &[(ms(10), ms(80))]);
+        assert_eq!(s.downtime(), SimDuration::from_ms(70));
+        assert!(s.down_at(ms(10)));
+        assert!(s.down_at(ms(79)));
+        assert!(!s.down_at(ms(80)), "until is exclusive");
+        assert_eq!(s.down_until(ms(40)), Some(ms(80)));
+        assert_eq!(s.down_until(ms(85)), None);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let h = SimDuration::from_secs(8);
+        let gap = Some(SimDuration::from_ms(400));
+        let a = NodeFaultPlan::generate(11, 3, h, CrashRate::Frequent, gap);
+        let b = NodeFaultPlan::generate(11, 3, h, CrashRate::Frequent, gap);
+        let c = NodeFaultPlan::generate(12, 3, h, CrashRate::Frequent, gap);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.total_outages() > 0);
+        assert!(!a.node(0).latents().is_empty());
+    }
+
+    #[test]
+    fn node_streams_are_independent_of_node_count() {
+        let h = SimDuration::from_secs(4);
+        let small = NodeFaultPlan::generate(5, 1, h, CrashRate::Rare, None);
+        let large = NodeFaultPlan::generate(5, 4, h, CrashRate::Rare, None);
+        assert_eq!(small.node(0), large.node(0));
+    }
+
+    #[test]
+    fn outage_stream_is_independent_of_latent_toggle() {
+        let h = SimDuration::from_secs(4);
+        let bare = NodeFaultPlan::generate(9, 2, h, CrashRate::Frequent, None);
+        let with = NodeFaultPlan::generate(
+            9,
+            2,
+            h,
+            CrashRate::Frequent,
+            Some(SimDuration::from_ms(300)),
+        );
+        for n in 0..2 {
+            assert_eq!(bare.node(n).outages(), with.node(n).outages());
+            assert!(bare.node(n).latents().is_empty());
+            assert!(!with.node(n).latents().is_empty());
+        }
+    }
+
+    #[test]
+    fn rate_ladder_is_monotone_and_windows_disjoint() {
+        let h = SimDuration::from_secs(16);
+        let counts: Vec<usize> = CrashRate::ALL
+            .iter()
+            .map(|&r| NodeFaultPlan::generate(3, 2, h, r, None).total_outages())
+            .collect();
+        assert_eq!(counts[0], 0, "None must schedule nothing");
+        assert!(counts[1] > 0 && counts[2] > counts[1], "{counts:?}");
+        let plan = NodeFaultPlan::generate(3, 2, h, CrashRate::Frequent, None);
+        for n in 0..2 {
+            for pair in plan.node(n).outages().windows(2) {
+                assert!(pair[0].1 <= pair[1].0, "{pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn latents_are_time_ordered_and_in_range() {
+        let plan = NodeFaultPlan::generate(
+            21,
+            1,
+            SimDuration::from_secs(16),
+            CrashRate::None,
+            Some(SimDuration::from_ms(200)),
+        );
+        let latents = plan.node(0).latents();
+        assert!(latents.len() > 20, "{}", latents.len());
+        for pair in latents.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        for l in latents {
+            assert!(l.slot < 3);
+            assert!((0.0..1.0).contains(&l.frac));
+        }
+    }
+
+    #[test]
+    fn plan_indexing_beyond_len_is_healthy() {
+        let plan =
+            NodeFaultPlan::generate(1, 1, SimDuration::from_secs(4), CrashRate::Frequent, None);
+        assert!(plan.node(99).outages().is_empty());
+        assert!(!plan.node(99).down_at(SimTime::ZERO));
+    }
+
+    #[test]
+    fn outages_compose_into_device_schedules() {
+        // The integration the node simulation performs: node outages become
+        // offline windows layered over the device's own faults.
+        let plan = NodeFaultPlan::from_schedules(
+            vec![NodeFaultSchedule::from_outages(vec![(ms(100), ms(200))])],
+            0,
+        );
+        let dev = DeviceFaultSchedule::from_windows(vec![FaultWindow {
+            from: ms(150),
+            until: ms(300),
+            kind: FaultKind::Stall,
+        }]);
+        let composed = dev.overlay_offline(plan.node(0).outages());
+        assert!(composed.offline_at(ms(150)));
+        assert!(!composed.offline_at(ms(250)));
+        assert!(matches!(
+            composed.active(ms(250)).unwrap().kind,
+            FaultKind::Stall
+        ));
+    }
+}

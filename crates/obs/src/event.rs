@@ -227,6 +227,51 @@ pub enum TraceEvent {
         /// Bytes the migration put on the interconnect overall.
         net_bytes: u64,
     },
+    /// A whole node lost power; every device on it went dark and all
+    /// volatile node state (in-flight copy progress, queued requests) was
+    /// dropped.
+    NodeCrash {
+        /// Simulated time of the power loss, ns.
+        t: u64,
+        /// Crashed node.
+        node: u32,
+        /// Active migrations touching the node that were suspended.
+        suspended: u32,
+    },
+    /// Power returned and the node began replaying its durable state.
+    ReplayStart {
+        /// Simulated time, ns.
+        t: u64,
+        /// Recovering node.
+        node: u32,
+        /// Journaled migration entries found in durable state.
+        journaled: u32,
+    },
+    /// Durable-state replay finished; the node is serving again.
+    ReplayComplete {
+        /// Simulated time replay finished (crash instant + replay cost), ns.
+        t: u64,
+        /// Recovered node.
+        node: u32,
+        /// Migrations resumed from their journaled bitmaps.
+        resumed: u32,
+        /// Migrations rolled back per the abort recovery policy.
+        aborted: u32,
+    },
+    /// The scrubber found a latent-corrupt block and rewrote it.
+    ScrubRepair {
+        /// Simulated time of the repair, ns.
+        t: u64,
+        /// Device holding the corrupt block.
+        dev: String,
+        /// Node the device lives on.
+        node: u32,
+        /// Scrubbed VMDK.
+        vmdk: u32,
+        /// `true` when the good copy came from the migration mirror,
+        /// `false` for an in-place rewrite.
+        mirror: bool,
+    },
     /// The flash scheduler dispatched a request past the barrier check.
     BarrierDispatch {
         /// Controller clock, µs.
@@ -287,6 +332,10 @@ impl TraceEvent {
             TraceEvent::NetTransfer { .. } => "NetTransfer",
             TraceEvent::RemoteMigrationStart { .. } => "RemoteMigrationStart",
             TraceEvent::RemoteMigrationCutover { .. } => "RemoteMigrationCutover",
+            TraceEvent::NodeCrash { .. } => "NodeCrash",
+            TraceEvent::ReplayStart { .. } => "ReplayStart",
+            TraceEvent::ReplayComplete { .. } => "ReplayComplete",
+            TraceEvent::ScrubRepair { .. } => "ScrubRepair",
             TraceEvent::BarrierDispatch { .. } => "BarrierDispatch",
             TraceEvent::BarrierDiscard { .. } => "BarrierDiscard",
         }

@@ -13,9 +13,13 @@
 //! updated files; CI regenerates and `git diff --exit-code`s them.
 
 use nvdimm_hsm::core::{
-    DatastoreId, MigrationDecision, MigrationMode, NodeConfig, NodeSim, PolicyKind, VmdkId,
+    DatastoreId, MigrationDecision, MigrationMode, NodeConfig, NodeSim, PolicyKind, RecoveryPolicy,
+    VmdkId,
 };
-use nvdimm_hsm::fault::{DeviceFaultSchedule, FaultKind, FaultPlan, FaultWindow};
+use nvdimm_hsm::fault::{
+    DeviceFaultSchedule, FaultKind, FaultPlan, FaultWindow, LatentFault, NodeFaultPlan,
+    NodeFaultSchedule,
+};
 use nvdimm_hsm::obs::{drain_ring, shared, to_jsonl, RingSink, TraceEvent};
 use nvdimm_hsm::sim::{SimDuration, SimTime};
 use nvdimm_hsm::workload::hibench::{profile, Benchmark};
@@ -25,7 +29,7 @@ use std::path::PathBuf;
 /// level transitions (not per-I/O traffic), so goldens stay reviewable.
 /// `NetTransfer` is emitted once per cross-node copy round (aggregated),
 /// never per block, so it stays golden-sized too.
-const CONTROL_KINDS: [&str; 10] = [
+const CONTROL_KINDS: [&str; 14] = [
     "MigrationStart",
     "MigrationSuspend",
     "MigrationResume",
@@ -36,6 +40,10 @@ const CONTROL_KINDS: [&str; 10] = [
     "RemoteMigrationStart",
     "NetTransfer",
     "RemoteMigrationCutover",
+    "NodeCrash",
+    "ReplayStart",
+    "ReplayComplete",
+    "ScrubRepair",
 ];
 
 fn control_plane(events: Vec<TraceEvent>) -> Vec<TraceEvent> {
@@ -220,6 +228,102 @@ fn golden_cross_node_migration() {
         "cutover byte count disagrees with the transfers it summarizes"
     );
     check_golden("cross_node_migration", &events);
+}
+
+/// Builds the node-crash scenario: a Pagerank resident on the HDD, a
+/// forced Lazy migration HDD → SSD at t=400 ms, and the *whole node*
+/// powered off over `outage`. The golden pins the recovery sequence —
+/// NodeCrash → ReplayStart → MigrationResume/Abort → ReplayComplete.
+fn run_node_crash_scenario(recovery: RecoveryPolicy, outage: (u64, u64)) -> Vec<TraceEvent> {
+    let plan = NodeFaultPlan::from_schedules(
+        vec![NodeFaultSchedule::from_outages(vec![(
+            SimTime::from_ms(outage.0),
+            SimTime::from_ms(outage.1),
+        )])],
+        7,
+    );
+    let mut cfg = quick_cfg(PolicyKind::Bca);
+    cfg.node_faults = Some(plan);
+    cfg.recovery = recovery;
+    cfg.tau = 1.0; // balancer quiet: the forced migration is the only one
+    let mut sim = NodeSim::new(cfg, 5);
+    let sink = shared(RingSink::new(1 << 16));
+    sim.set_trace_sink(Some(sink.clone()));
+    sim.add_workload_on(profile(Benchmark::Pagerank).with_working_set(20_000), 2)
+        .expect("the HDD holds the VMDK");
+    sim.run(SimDuration::from_ms(400));
+    sim.start_migration(MigrationDecision {
+        vmdk: VmdkId(0),
+        src: DatastoreId(2),
+        dst: DatastoreId(1),
+        mode: MigrationMode::Lazy,
+    });
+    sim.run(SimDuration::from_secs(4));
+    control_plane(drain_ring(&sink))
+}
+
+#[test]
+fn golden_node_crash_resume() {
+    // Power loss mid-migration: the crash suspends the copy and drops its
+    // volatile progress, replay restores the journaled bitmap, and the
+    // Resume policy continues the migration to cutover.
+    let events = run_node_crash_scenario(RecoveryPolicy::Resume, (600, 900));
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+    assert!(kinds.contains(&"NodeCrash"), "{kinds:?}");
+    assert!(kinds.contains(&"ReplayStart"), "{kinds:?}");
+    assert!(kinds.contains(&"MigrationResume"), "{kinds:?}");
+    assert!(kinds.contains(&"ReplayComplete"), "{kinds:?}");
+    check_golden("node_crash_resume", &events);
+}
+
+#[test]
+fn golden_node_crash_abort() {
+    // Same crash, Abort policy: replay rolls the suspended migration back
+    // to its source instead of resuming the copy.
+    let events = run_node_crash_scenario(RecoveryPolicy::Abort, (600, 900));
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+    assert!(kinds.contains(&"NodeCrash"), "{kinds:?}");
+    assert!(kinds.contains(&"MigrationAbort"), "{kinds:?}");
+    assert!(kinds.contains(&"ReplayComplete"), "{kinds:?}");
+    assert!(!kinds.contains(&"MigrationCutover"), "{kinds:?}");
+    check_golden("node_crash_abort", &events);
+}
+
+#[test]
+fn golden_scrub_repair() {
+    // Latent block faults land on the HDD under an active scrubber: every
+    // probe rides the staged datapath and each detection triggers a repair,
+    // pinned by the ScrubRepair events.
+    // Fracs chosen so every corruption lands inside the 20 000-block VMDK
+    // extent at the head of the ~1 Mi-block HDD — latents elsewhere on the
+    // device sit outside any resident data and are never probed.
+    let latents: Vec<LatentFault> = (0..6)
+        .map(|i| LatentFault {
+            at: SimTime::from_ms(200 + 50 * i),
+            slot: 2,
+            frac: 0.001 + 0.003 * i as f64,
+        })
+        .collect();
+    let plan = NodeFaultPlan::from_schedules(
+        vec![NodeFaultSchedule::from_outages(Vec::new()).with_latents(latents)],
+        7,
+    );
+    let mut cfg = quick_cfg(PolicyKind::Bca);
+    cfg.node_faults = Some(plan);
+    cfg.scrub_rate = 4096;
+    cfg.tau = 1.0;
+    let mut sim = NodeSim::new(cfg, 5);
+    let sink = shared(RingSink::new(1 << 16));
+    sim.set_trace_sink(Some(sink.clone()));
+    sim.add_workload_on(profile(Benchmark::Pagerank).with_working_set(20_000), 2)
+        .expect("the HDD holds the VMDK");
+    sim.run(SimDuration::from_secs(8));
+    let events: Vec<TraceEvent> = control_plane(drain_ring(&sink))
+        .into_iter()
+        .filter(|e| e.kind() == "ScrubRepair")
+        .collect();
+    assert!(!events.is_empty(), "scrubber repaired nothing");
+    check_golden("scrub_repair", &events);
 }
 
 #[test]
