@@ -7,9 +7,13 @@
 //! packages the results as `BENCH_driver.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nvhsm_core::manager::{NetworkCosts, PolicyEngine, ResidentInfo};
 use nvhsm_core::migration::ActiveMigration;
 use nvhsm_core::training::pretrain_models;
-use nvhsm_core::{DatastoreId, MigrationMode, NodeConfig, NodeSim, PolicyKind, VmdkId};
+use nvhsm_core::{
+    shard_summaries, DatastoreId, Manager, MigrationMode, NodeConfig, NodeSim, PolicyKind,
+    ServingConfig, ServingSim, ShardedPolicyEngine, VmdkId,
+};
 use nvhsm_device::{DeviceKind, IoOp, IoRequest, SsdConfig, SsdDevice, StorageDevice};
 use nvhsm_experiments::mix::{run_mix, MixParams};
 use nvhsm_experiments::Scale;
@@ -244,6 +248,76 @@ fn bench_replay_journal(c: &mut Criterion) {
     });
 }
 
+fn bench_shard_scan(c: &mut Criterion) {
+    // The serving-plane placement kernel at datacenter scale: a warm
+    // 1,000-node fleet (3,000 datastores) with load spread across it, one
+    // arriving VMDK to place. The sharded engine scans its home shard
+    // (5 nodes = 15 stores) plus the O(#shards) summary table; the flat
+    // manager scans all 3,000 stores with the O(slice²) Eq. 4 preview.
+    let mut cfg = ServingConfig::small(1000);
+    cfg.train_requests = 20;
+    let mut sim = ServingSim::new(cfg);
+    for t in 0..600u32 {
+        let spec = nvhsm_workload::tenant::TenantSpec {
+            tenant: t,
+            home_node: (t as usize * 37) % 1000,
+            slo_us: 2_000.0,
+            class: nvhsm_workload::tenant::TenantClass::Standard,
+            vmdks: vec![nvhsm_workload::tenant::VmdkDemand {
+                blocks: 20_000,
+                iops: 120.0,
+                wr_ratio: 0.3,
+                rd_rand: 0.6,
+                wr_rand: 0.4,
+                mean_size_blocks: 8.0,
+            }],
+        };
+        let _ = sim.admit_tenant(&spec);
+    }
+    sim.run_epoch();
+    let obs = sim.observations();
+
+    let net = NetworkCosts {
+        hop_us: 120.0,
+        per_block_us: 0.0,
+    };
+    let mut sharded = ShardedPolicyEngine::new(
+        Manager::new(PolicyKind::Pesto, 1.0, pretrain_models(20, 11)),
+        5,
+    );
+    sharded.set_network(net);
+    let mut flat = Manager::new(PolicyKind::Pesto, 1.0, pretrain_models(20, 11));
+    flat.set_network(net);
+
+    let base = 120.0;
+    let arrival = ResidentInfo {
+        vmdk: VmdkId(1_000_000),
+        size_blocks: 20_000,
+        features: Features {
+            wr_ratio: 0.3,
+            oios: 120.0 * base * 1e-6,
+            ios: 8.0,
+            wr_rand: 0.4,
+            rd_rand: 0.6,
+            free_space_ratio: 1.0,
+        },
+        io_count: 7_200,
+        mean_latency_us: base,
+        live_blocks: 57_600,
+    };
+
+    c.bench_function("driver/shard_summaries_3k_stores", |b| {
+        b.iter(|| black_box(shard_summaries(obs, 5)))
+    });
+    c.bench_function("driver/placement_scan_1k_sharded", |b| {
+        b.iter(|| black_box(sharded.initial_placement_from(obs, &arrival, Some(500))))
+    });
+    // Baseline: the O(cluster) scan sharding replaces.
+    c.bench_function("driver/placement_scan_1k_flat", |b| {
+        b.iter(|| black_box(flat.initial_placement_from(obs, &arrival, Some(500))))
+    });
+}
+
 /// A deliberately small device-level scenario for grid-throughput runs.
 fn small_scenario(seed: u64) -> f64 {
     let mut dev = SsdDevice::new(SsdConfig::small_test());
@@ -302,6 +376,7 @@ criterion_group!(
     bench_bus_lut,
     bench_report_build,
     bench_replay_journal,
+    bench_shard_scan,
     bench_grid,
     bench_single_scenario
 );

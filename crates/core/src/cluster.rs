@@ -39,6 +39,13 @@ impl ClusterConfig {
         self.node.policy = policy;
         self
     }
+
+    /// Same cluster with placement/balancing sharded into `nodes`-node
+    /// shards (`0` = unsharded; see [`NodeConfig::shard_nodes`]).
+    pub fn with_shards(mut self, nodes: usize) -> Self {
+        self.node.shard_nodes = nodes;
+        self
+    }
 }
 
 impl Default for ClusterConfig {

@@ -50,17 +50,22 @@ pub mod migration;
 pub mod net;
 pub mod node;
 pub mod policy;
+pub mod serving;
 pub mod training;
 pub mod vmdk;
 
 pub use cluster::{ClusterConfig, ClusterReport, ClusterSim};
 pub use datastore::{Datastore, DatastoreId};
-pub use manager::{Manager, MigrationDecision, NetworkCosts, PolicyEngine};
+pub use manager::{
+    shard_summaries, Manager, MigrationDecision, NetworkCosts, PolicyEngine, ShardSummary,
+    ShardedPolicyEngine,
+};
 pub use migration::{Bitmap, MigrationMode};
 pub use net::{Interconnect, LinkStats, NicConfig, NodeLinkStats};
 pub use node::{
     IoOutcome, MigrationEvent, NodeConfig, NodeReport, NodeSim, PlacementError, RecoveryPolicy,
 };
 pub use policy::PolicyKind;
+pub use serving::{ServingConfig, ServingReport, ServingSim};
 pub use training::pretrain_models;
 pub use vmdk::{Vmdk, VmdkId};

@@ -726,5 +726,8 @@ impl PolicyEngine for Manager {
     }
 }
 
+pub mod sharded;
+pub use sharded::{shard_summaries, ShardSummary, ShardedPolicyEngine};
+
 #[cfg(test)]
 mod tests;

@@ -123,6 +123,12 @@ pub struct NodeConfig {
     pub scrub_rate: u64,
     /// Blocks probed per scrub tick.
     pub scrub_batch: u32,
+    /// Nodes per placement/balancing shard. `0` runs the unsharded
+    /// [`Manager`]; any positive value wraps it in a
+    /// [`crate::ShardedPolicyEngine`] so Eq. 4/5 scans are O(shard). A
+    /// value ≥ the node count yields one shard and is byte-identical to
+    /// the unsharded manager (the differential-oracle tests pin this).
+    pub shard_nodes: usize,
 }
 
 impl NodeConfig {
@@ -153,6 +159,7 @@ impl NodeConfig {
             recovery: RecoveryPolicy::Resume,
             scrub_rate: 0,
             scrub_batch: 8,
+            shard_nodes: 0,
         }
     }
 }
@@ -279,8 +286,14 @@ impl NodeSim {
         assert!(nodes > 0, "need at least one node");
         let mut rng = SimRng::new(seed);
         let models = pretrain_models(cfg.train_requests, rng.next_u64());
-        let mut manager: Box<dyn PolicyEngine> =
-            Box::new(Manager::new(cfg.policy, cfg.tau, models));
+        let mut manager: Box<dyn PolicyEngine> = if cfg.shard_nodes > 0 {
+            Box::new(crate::manager::ShardedPolicyEngine::new(
+                Manager::new(cfg.policy, cfg.tau, models),
+                cfg.shard_nodes,
+            ))
+        } else {
+            Box::new(Manager::new(cfg.policy, cfg.tau, models))
+        };
         // Fold the interconnect into the manager's what-if arithmetic: one
         // hop costs the propagation latency plus one block's wire time, and
         // each migrated block costs its wire time (Eq. 6 extension). With

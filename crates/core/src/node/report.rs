@@ -153,6 +153,17 @@ pub enum PlacementError {
         /// Size of the VMDK that was rejected, blocks.
         size_blocks: u64,
     },
+    /// Admission control refused the request: granting it would push the
+    /// tenant past its capacity quota (over-admission protection for the
+    /// multi-tenant serving plane).
+    TenantOverQuota {
+        /// The tenant whose admission was refused.
+        tenant: u32,
+        /// Blocks the admission asked for.
+        requested_blocks: u64,
+        /// The tenant's total capacity quota, blocks.
+        quota_blocks: u64,
+    },
 }
 
 impl std::fmt::Display for PlacementError {
@@ -163,6 +174,17 @@ impl std::fmt::Display for PlacementError {
             }
             PlacementError::DatastoreFull { ds, size_blocks } => {
                 write!(f, "datastore {ds} cannot hold a {size_blocks}-block VMDK")
+            }
+            PlacementError::TenantOverQuota {
+                tenant,
+                requested_blocks,
+                quota_blocks,
+            } => {
+                write!(
+                    f,
+                    "tenant {tenant} requested {requested_blocks} blocks past \
+                     its {quota_blocks}-block quota"
+                )
             }
         }
     }

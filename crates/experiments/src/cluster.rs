@@ -30,6 +30,10 @@ pub struct ClusterParams {
     pub policy: PolicyKind,
     /// RNG seed.
     pub seed: u64,
+    /// Nodes per placement shard (`0` = unsharded; `>= nodes` = one
+    /// shard, byte-identical to unsharded — the differential-oracle
+    /// configuration).
+    pub shard_nodes: usize,
 }
 
 /// An effectively infinite link: wire time rounds to ~0 for any transfer
@@ -48,6 +52,7 @@ impl ClusterParams {
             bandwidth: GBE,
             policy,
             seed: 42,
+            shard_nodes: 0,
         }
     }
 }
@@ -96,6 +101,7 @@ fn cluster_config(params: ClusterParams, scale: Scale) -> ClusterConfig {
     cfg.node.policy = params.policy;
     cfg.node.train_requests = scale.train_requests();
     cfg.node.nic_bandwidth = params.bandwidth;
+    cfg.node.shard_nodes = params.shard_nodes;
     cfg
 }
 

@@ -28,8 +28,10 @@
 //! | `faults`  | robustness sweep — availability & migration recovery under injected faults |
 //! | `cluster` | cross-node migration — node count × NIC bandwidth × policy over the modeled interconnect |
 //! | `crash`   | whole-node power loss — crash rate × recovery policy × scrub rate |
+//! | `churn`   | multi-tenant serving — cluster size × shard size × open-loop tenant churn |
 
 pub mod characterization;
+pub mod churn;
 pub mod cluster;
 pub mod crash;
 pub mod faults;
@@ -56,7 +58,7 @@ pub mod tau;
 pub use harness::{ExperimentResult, Row, Scale};
 
 /// All experiment ids, in paper order.
-pub const ALL_EXPERIMENTS: [&str; 20] = [
+pub const ALL_EXPERIMENTS: [&str; 21] = [
     "table1",
     "table2",
     "fig4",
@@ -77,6 +79,7 @@ pub const ALL_EXPERIMENTS: [&str; 20] = [
     "faults",
     "cluster",
     "crash",
+    "churn",
 ];
 
 /// Runs one experiment by id.
@@ -106,6 +109,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Result<ExperimentResult, String
         "faults" => Ok(faults::run(scale)),
         "cluster" => Ok(cluster::run(scale)),
         "crash" => Ok(crash::run(scale)),
+        "churn" => Ok(churn::run(scale)),
         other => Err(format!(
             "unknown experiment '{other}'; known: {}",
             ALL_EXPERIMENTS.join(", ")

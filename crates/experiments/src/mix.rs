@@ -51,6 +51,10 @@ pub struct MixParams {
     /// whole run; `None` disables node crashes and the scrubber
     /// byte-identically to builds without them.
     pub crash: Option<CrashSetup>,
+    /// Nodes per placement shard (`0` = the unsharded manager; `>= nodes`
+    /// = one shard, byte-identical to unsharded — the differential-oracle
+    /// configuration).
+    pub shard_nodes: usize,
 }
 
 /// Node-crash, recovery-policy and scrubber knobs of one mix run.
@@ -79,6 +83,7 @@ impl MixParams {
             arrivals: false,
             fault_intensity: None,
             crash: None,
+            shard_nodes: 0,
         }
     }
 
@@ -154,6 +159,7 @@ pub fn run_mix_observed(
     cfg.policy = params.policy;
     cfg.tau = params.tau;
     cfg.spec = params.spec;
+    cfg.shard_nodes = params.shard_nodes;
     cfg.train_requests = scale.train_requests();
     if let Some(intensity) = params.fault_intensity {
         // The plan must span warm-up *and* the measured window: schedules

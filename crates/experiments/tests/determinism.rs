@@ -3,6 +3,7 @@
 //! one worker or many.
 
 use nvhsm_device::{IoOp, IoRequest, SsdConfig, SsdDevice, StorageDevice};
+use nvhsm_experiments::churn::{self, ChurnIntensity, ChurnParams};
 use nvhsm_experiments::obs::{self, ObsOptions};
 use nvhsm_experiments::{cluster, crash, faults, fig12, Scale};
 use nvhsm_obs::to_jsonl;
@@ -173,6 +174,125 @@ fn traces_are_byte_identical_across_job_counts() {
     parallel::set_jobs(None);
 
     assert!(!serial.is_empty());
+    assert_eq!(serial, fanned);
+}
+
+#[test]
+fn churn_experiment_is_byte_identical_across_job_counts() {
+    // Tenant arrival schedules, admission decisions and SLO accounting
+    // derive only from per-tenant seeded RNG streams and the epoch clock:
+    // a rejection seen at --jobs 4 reproduces exactly at --jobs 1.
+    let _guard = JOBS_LOCK.lock().unwrap();
+    parallel::set_jobs(Some(1));
+    let serial = churn::run(Scale::Quick);
+    parallel::set_jobs(Some(4));
+    let parallel_run = churn::run(Scale::Quick);
+    parallel::set_jobs(None);
+
+    assert_eq!(serial.render(), parallel_run.render());
+    assert_eq!(serial.to_csv(), parallel_run.to_csv());
+    assert_eq!(
+        serde_json::to_string(&serial).expect("serializable"),
+        serde_json::to_string(&parallel_run).expect("serializable"),
+    );
+}
+
+/// Runs the churn sweep with tracing + metrics armed and renders every
+/// scenario capture into one string, exactly as `--trace`/`--metrics` would.
+fn traced_churn_dump() -> String {
+    obs::set_observation(ObsOptions {
+        trace: true,
+        metrics: true,
+    });
+    let report = churn::run(Scale::Quick);
+    let mut dump = String::new();
+    for s in obs::take_observations() {
+        dump.push_str(&format!(
+            "## grid={} case={} label={} dropped={}\n",
+            s.grid, s.case, s.label, s.dropped
+        ));
+        dump.push_str(&to_jsonl(&s.events));
+        if let Some(snap) = &s.metrics {
+            dump.push_str(&serde_json::to_string(snap).expect("serializable snapshot"));
+            dump.push('\n');
+        }
+    }
+    obs::set_observation(ObsOptions::OFF);
+    dump.push_str(&report.to_csv());
+    dump
+}
+
+#[test]
+fn churn_traces_are_byte_identical_across_job_counts() {
+    // TenantAdmit/Placement/SloViolation/TenantRetire events and the
+    // per-tenant QoS metrics must order by (grid, case), never by worker
+    // completion.
+    let _guard = JOBS_LOCK.lock().unwrap();
+    parallel::set_jobs(Some(1));
+    let serial = traced_churn_dump();
+    parallel::set_jobs(Some(4));
+    let fanned = traced_churn_dump();
+    parallel::set_jobs(None);
+
+    assert!(!serial.is_empty());
+    assert!(
+        serial.contains("TenantAdmit"),
+        "churn trace is missing tenant lifecycle events"
+    );
+    assert_eq!(serial, fanned);
+}
+
+/// The datacenter-scale acceptance case: 1,000 nodes (3,000 datastores)
+/// under flash-crowd churn, placing well over 10,000 VMDKs.
+fn datacenter_churn_dump() -> (String, u64) {
+    obs::set_observation(ObsOptions {
+        trace: true,
+        metrics: true,
+    });
+    let reports = churn::run_churn_grid(
+        vec![ChurnParams {
+            nodes: 1000,
+            shard_nodes: 5,
+            intensity: ChurnIntensity::Flash,
+            seed: 9,
+        }],
+        Scale::Quick,
+    );
+    let mut dump = String::new();
+    for s in obs::take_observations() {
+        dump.push_str(&format!(
+            "## grid={} case={} label={} dropped={}\n",
+            s.grid, s.case, s.label, s.dropped
+        ));
+        dump.push_str(&to_jsonl(&s.events));
+        if let Some(snap) = &s.metrics {
+            dump.push_str(&serde_json::to_string(snap).expect("serializable snapshot"));
+            dump.push('\n');
+        }
+    }
+    obs::set_observation(ObsOptions::OFF);
+    let placed = reports[0].placed_vmdks;
+    dump.push_str(&serde_json::to_string(&reports).expect("serializable"));
+    (dump, placed)
+}
+
+#[test]
+fn datacenter_scale_churn_is_byte_identical_across_job_counts() {
+    // The tentpole acceptance scenario: a 1,000-node sharded fleet under
+    // open-loop flash churn places >10k VMDKs, and the full JSON report,
+    // JSONL trace and metrics snapshot are byte-identical at --jobs 1
+    // and --jobs 4.
+    let _guard = JOBS_LOCK.lock().unwrap();
+    parallel::set_jobs(Some(1));
+    let (serial, placed) = datacenter_churn_dump();
+    parallel::set_jobs(Some(4));
+    let (fanned, _) = datacenter_churn_dump();
+    parallel::set_jobs(None);
+
+    assert!(
+        placed >= 10_000,
+        "datacenter scenario too small: {placed} VMDKs placed"
+    );
     assert_eq!(serial, fanned);
 }
 

@@ -272,6 +272,40 @@ pub enum TraceEvent {
         /// `false` for an in-place rewrite.
         mirror: bool,
     },
+    /// A tenant was admitted to the serving plane: its quota was granted
+    /// and all of its VMDKs were placed.
+    TenantAdmit {
+        /// Simulated time, ns.
+        t: u64,
+        /// Admitted tenant.
+        tenant: u32,
+        /// VMDKs placed for the tenant.
+        vmdks: u32,
+        /// Total blocks the tenant's VMDKs occupy.
+        blocks: u64,
+    },
+    /// A tenant departed: its VMDKs were removed and its quota released.
+    TenantRetire {
+        /// Simulated time, ns.
+        t: u64,
+        /// Retired tenant.
+        tenant: u32,
+        /// Epochs the tenant spent in SLO violation over its lifetime.
+        violations: u64,
+    },
+    /// A tenant's p99 latency exceeded its SLO this epoch (emitted on the
+    /// violation *onset*; consecutive violating epochs are counted in
+    /// metrics, not re-emitted).
+    SloViolation {
+        /// Simulated time, ns.
+        t: u64,
+        /// Violating tenant.
+        tenant: u32,
+        /// The tenant's p99 latency this epoch, µs.
+        p99_us: f64,
+        /// The tenant's SLO bound, µs.
+        slo_us: f64,
+    },
     /// The flash scheduler dispatched a request past the barrier check.
     BarrierDispatch {
         /// Controller clock, µs.
@@ -336,6 +370,9 @@ impl TraceEvent {
             TraceEvent::ReplayStart { .. } => "ReplayStart",
             TraceEvent::ReplayComplete { .. } => "ReplayComplete",
             TraceEvent::ScrubRepair { .. } => "ScrubRepair",
+            TraceEvent::TenantAdmit { .. } => "TenantAdmit",
+            TraceEvent::TenantRetire { .. } => "TenantRetire",
+            TraceEvent::SloViolation { .. } => "SloViolation",
             TraceEvent::BarrierDispatch { .. } => "BarrierDispatch",
             TraceEvent::BarrierDiscard { .. } => "BarrierDiscard",
         }

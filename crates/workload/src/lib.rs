@@ -36,8 +36,10 @@ pub mod hibench;
 pub mod profile;
 pub mod spec;
 pub mod synthetic;
+pub mod tenant;
 
 pub use generator::{GenOp, GenRequest, IoGenerator};
 pub use profile::WorkloadProfile;
 pub use spec::{SpecProgram, SpecTraffic};
 pub use synthetic::SyntheticSpec;
+pub use tenant::{ChurnAction, ChurnConfig, ChurnEvent, TenantClass, TenantSpec, VmdkDemand};

@@ -1,0 +1,373 @@
+//! Open-loop tenant churn: the datacenter-scale arrival process.
+//!
+//! The paper's workloads are a fixed set of eight benchmarks; a serving
+//! fleet instead sees *tenants* arrive and depart continuously. This
+//! module generates a seeded, fully deterministic schedule of tenant
+//! admissions and retirements over simulated hours:
+//!
+//! * **Open-loop arrivals** — a non-homogeneous Poisson process (thinning
+//!   over a diurnal rate curve) decides *when* tenants arrive; nothing
+//!   about the serving plane's response feeds back into the schedule.
+//! * **Diurnal load** — the arrival rate swings sinusoidally over a
+//!   configurable period (a compressed day).
+//! * **Flash crowds** — bursts of simultaneous arrivals at deterministic
+//!   instants, stressing admission control and the placement spill path.
+//! * **Noisy neighbors** — a configurable fraction of tenants get an
+//!   order-of-magnitude I/O rate multiplier.
+//!
+//! Determinism contract: the *master* RNG (seeded from
+//! [`ChurnConfig::seed`]) draws only arrival instants and tenant
+//! ordinals; everything tenant-specific (size, rate, lifetime, class,
+//! home node) comes from a per-tenant RNG forked from the seed and the
+//! tenant id. Tenant `k`'s shape therefore never depends on how many
+//! draws earlier tenants consumed, and the whole schedule — hence every
+//! trace event downstream — is byte-identical for any `--jobs` count.
+
+use nvhsm_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Tenant behaviour class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TenantClass {
+    /// Ordinary tenant.
+    Standard,
+    /// Noisy neighbor: same footprint, ~10× the I/O rate.
+    Noisy,
+}
+
+/// One VMDK a tenant asks the serving plane to host.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VmdkDemand {
+    /// Image size, 4 KiB blocks.
+    pub blocks: u64,
+    /// Mean request rate, requests/s.
+    pub iops: f64,
+    /// Write fraction.
+    pub wr_ratio: f64,
+    /// Random fraction of reads.
+    pub rd_rand: f64,
+    /// Random fraction of writes.
+    pub wr_rand: f64,
+    /// Mean request size, blocks.
+    pub mean_size_blocks: f64,
+}
+
+/// One tenant's admission request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Tenant id (dense ordinals in arrival order).
+    pub tenant: u32,
+    /// Node the tenant's compute lands on (its placement home).
+    pub home_node: usize,
+    /// p99 latency SLO, µs.
+    pub slo_us: f64,
+    /// Behaviour class.
+    pub class: TenantClass,
+    /// The VMDKs to place.
+    pub vmdks: Vec<VmdkDemand>,
+}
+
+impl TenantSpec {
+    /// Total blocks across the tenant's VMDKs.
+    pub fn total_blocks(&self) -> u64 {
+        self.vmdks.iter().map(|v| v.blocks).sum()
+    }
+}
+
+/// What happens at one schedule instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChurnAction {
+    /// Admit the tenant.
+    Admit(TenantSpec),
+    /// Retire the tenant (by id).
+    Retire(u32),
+}
+
+/// One entry of the churn schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// Seconds since schedule start.
+    pub at_s: f64,
+    /// The action.
+    pub action: ChurnAction,
+}
+
+/// Knobs of the churn arrival process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Nodes in the fleet (tenant homes are drawn uniformly).
+    pub nodes: usize,
+    /// Schedule horizon, simulated hours.
+    pub hours: f64,
+    /// Base arrival rate, tenants per hour (the diurnal mean).
+    pub arrivals_per_hour: f64,
+    /// Diurnal swing in [0, 1): rate varies between
+    /// `base·(1−a)` and `base·(1+a)`.
+    pub diurnal_amplitude: f64,
+    /// The compressed "day" length, hours (the sinusoid's period).
+    pub diurnal_period_hours: f64,
+    /// Number of flash-crowd bursts, evenly spaced over the horizon.
+    pub flash_crowds: u32,
+    /// Simultaneous arrivals per flash crowd.
+    pub flash_size: u32,
+    /// Fraction of tenants that are noisy neighbors.
+    pub noisy_fraction: f64,
+    /// Mean tenant lifetime, hours (exponential; retirements past the
+    /// horizon are dropped — the tenant stays resident).
+    pub mean_lifetime_hours: f64,
+    /// Inclusive range of VMDKs per tenant.
+    pub vmdks_per_tenant: (u32, u32),
+    /// Inclusive range of blocks per VMDK (log-uniform).
+    pub blocks_per_vmdk: (u64, u64),
+    /// Inclusive range of per-VMDK request rates, requests/s.
+    pub iops_range: (f64, f64),
+    /// p99 SLO handed to every tenant, µs.
+    pub slo_us: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ChurnConfig {
+    /// A small steady fleet: gentle arrivals, no bursts.
+    pub fn calm(nodes: usize, seed: u64) -> Self {
+        ChurnConfig {
+            nodes,
+            hours: 2.0,
+            arrivals_per_hour: 30.0,
+            diurnal_amplitude: 0.0,
+            diurnal_period_hours: 1.0,
+            flash_crowds: 0,
+            flash_size: 0,
+            noisy_fraction: 0.0,
+            mean_lifetime_hours: 0.8,
+            vmdks_per_tenant: (1, 3),
+            blocks_per_vmdk: (2_000, 40_000),
+            iops_range: (40.0, 250.0),
+            slo_us: 2_000.0,
+            seed,
+        }
+    }
+
+    /// Diurnal load with noisy neighbors.
+    pub fn diurnal(nodes: usize, seed: u64) -> Self {
+        ChurnConfig {
+            diurnal_amplitude: 0.7,
+            diurnal_period_hours: 1.0,
+            noisy_fraction: 0.1,
+            ..Self::calm(nodes, seed)
+        }
+    }
+
+    /// Diurnal load plus flash crowds: the stress profile.
+    pub fn flash(nodes: usize, seed: u64) -> Self {
+        ChurnConfig {
+            flash_crowds: 3,
+            flash_size: 8,
+            ..Self::diurnal(nodes, seed)
+        }
+    }
+
+    /// Instantaneous arrival rate (tenants/hour) at `t` hours.
+    pub fn rate_at(&self, t_hours: f64) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * t_hours / self.diurnal_period_hours.max(1e-9);
+        (self.arrivals_per_hour * (1.0 + self.diurnal_amplitude * phase.sin())).max(0.0)
+    }
+}
+
+/// Per-tenant RNG: forked from the seed and the tenant id only, so a
+/// tenant's shape is independent of every other tenant's draws.
+fn tenant_rng(seed: u64, tenant: u32) -> SimRng {
+    SimRng::new(
+        seed ^ (tenant as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xD1B5_4A32_D192_ED03),
+    )
+}
+
+/// Draws one tenant's full spec from its forked RNG.
+fn draw_tenant(cfg: &ChurnConfig, tenant: u32) -> TenantSpec {
+    let mut rng = tenant_rng(cfg.seed, tenant);
+    let class = if rng.chance(cfg.noisy_fraction) {
+        TenantClass::Noisy
+    } else {
+        TenantClass::Standard
+    };
+    let rate_mul = if class == TenantClass::Noisy {
+        10.0
+    } else {
+        1.0
+    };
+    let (lo_v, hi_v) = cfg.vmdks_per_tenant;
+    let vmdk_count = lo_v + rng.below((hi_v - lo_v + 1) as u64) as u32;
+    let (lo_b, hi_b) = cfg.blocks_per_vmdk;
+    let vmdks = (0..vmdk_count)
+        .map(|_| {
+            // Log-uniform sizes: fleets are dominated by small images with
+            // a heavy tail of large ones.
+            let log_blocks = rng.uniform_range((lo_b as f64).ln(), (hi_b as f64).ln());
+            VmdkDemand {
+                blocks: (log_blocks.exp() as u64).clamp(lo_b, hi_b),
+                iops: rng.uniform_range(cfg.iops_range.0, cfg.iops_range.1) * rate_mul,
+                wr_ratio: rng.uniform_range(0.1, 0.6),
+                rd_rand: rng.uniform_range(0.2, 0.9),
+                wr_rand: rng.uniform_range(0.2, 0.9),
+                mean_size_blocks: rng.uniform_range(1.0, 4.0),
+            }
+        })
+        .collect();
+    TenantSpec {
+        tenant,
+        home_node: rng.below(cfg.nodes.max(1) as u64) as usize,
+        slo_us: cfg.slo_us,
+        class,
+        vmdks,
+    }
+}
+
+/// Generates the full churn schedule: admissions from the open-loop
+/// arrival process (plus flash crowds), one retirement per tenant whose
+/// exponential lifetime ends inside the horizon. Events are sorted by
+/// time with a stable, deterministic tie-break (admissions before
+/// retirements, then tenant ordinal).
+pub fn generate(cfg: &ChurnConfig) -> Vec<ChurnEvent> {
+    assert!(cfg.nodes > 0, "churn schedule needs at least one node");
+    let horizon_s = cfg.hours * 3600.0;
+    let mut master = SimRng::new(cfg.seed);
+    let mut arrivals: Vec<f64> = Vec::new();
+
+    // Thinning: candidates at the peak rate, accepted with rate(t)/peak.
+    let peak = (cfg.arrivals_per_hour * (1.0 + cfg.diurnal_amplitude)).max(1e-9);
+    let mut t_s = 0.0;
+    while t_s < horizon_s {
+        t_s += master.exponential(3600.0 / peak);
+        if t_s >= horizon_s {
+            break;
+        }
+        if master.chance(cfg.rate_at(t_s / 3600.0) / peak) {
+            arrivals.push(t_s);
+        }
+    }
+    // Flash crowds at deterministic instants.
+    for k in 0..cfg.flash_crowds {
+        let burst_at = horizon_s * (k as f64 + 0.5) / cfg.flash_crowds as f64;
+        for _ in 0..cfg.flash_size {
+            arrivals.push(burst_at);
+        }
+    }
+    arrivals.sort_by(|a, b| a.total_cmp(b));
+
+    let mut events: Vec<(f64, u8, u32)> = Vec::new(); // (time, kind, tenant)
+    for (ordinal, &at_s) in arrivals.iter().enumerate() {
+        let tenant = ordinal as u32;
+        events.push((at_s, 0, tenant));
+        // A distinct per-tenant stream (seed salted differently), so the
+        // lifetime draw shares no state with the spec draws.
+        let lifetime_s = tenant_rng(cfg.seed ^ 0x51FE_71FE, tenant)
+            .exponential(cfg.mean_lifetime_hours * 3600.0)
+            .max(60.0);
+        let retire_at = at_s + lifetime_s;
+        if retire_at < horizon_s {
+            events.push((retire_at, 1, tenant));
+        }
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    events
+        .into_iter()
+        .map(|(at_s, kind, tenant)| ChurnEvent {
+            at_s,
+            action: if kind == 0 {
+                ChurnAction::Admit(draw_tenant(cfg, tenant))
+            } else {
+                ChurnAction::Retire(tenant)
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_sorted() {
+        let cfg = ChurnConfig::flash(16, 77);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.windows(2).all(|w| w[0].at_s <= w[1].at_s));
+    }
+
+    #[test]
+    fn retirements_only_follow_admissions() {
+        let cfg = ChurnConfig::diurnal(8, 3);
+        let mut admitted = std::collections::HashSet::new();
+        for e in generate(&cfg) {
+            match e.action {
+                ChurnAction::Admit(ref spec) => {
+                    assert!(admitted.insert(spec.tenant), "tenant admitted twice");
+                    assert!(spec.home_node < 8);
+                    assert!(!spec.vmdks.is_empty());
+                    for v in &spec.vmdks {
+                        assert!(v.blocks >= cfg.blocks_per_vmdk.0);
+                        assert!(v.blocks <= cfg.blocks_per_vmdk.1);
+                        assert!(v.iops > 0.0);
+                    }
+                }
+                ChurnAction::Retire(t) => {
+                    assert!(admitted.contains(&t), "retired a tenant never admitted");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_shape_is_independent_of_other_tenants() {
+        // The forked-RNG contract: tenant 5 looks the same whether the
+        // schedule produced 10 or 1000 arrivals before it.
+        let cfg = ChurnConfig::calm(4, 11);
+        let spec_a = draw_tenant(&cfg, 5);
+        let spec_b = draw_tenant(&cfg, 5);
+        assert_eq!(spec_a, spec_b);
+        let mut busy = cfg.clone();
+        busy.arrivals_per_hour *= 50.0;
+        assert_eq!(draw_tenant(&busy, 5), spec_a);
+    }
+
+    #[test]
+    fn flash_crowds_pile_up_and_noisy_tenants_run_hot() {
+        let cfg = ChurnConfig {
+            flash_crowds: 2,
+            flash_size: 10,
+            noisy_fraction: 0.5,
+            ..ChurnConfig::calm(8, 9)
+        };
+        let events = generate(&cfg);
+        // Each burst instant hosts at least flash_size admissions.
+        let mut by_time: std::collections::HashMap<u64, u32> = Default::default();
+        for e in &events {
+            if matches!(e.action, ChurnAction::Admit(_)) {
+                *by_time.entry(e.at_s.to_bits()).or_default() += 1;
+            }
+        }
+        assert!(by_time.values().filter(|&&n| n >= 10).count() >= 2);
+        // Noisy neighbors exist and exceed the configured rate range.
+        let noisy = events.iter().any(|e| match &e.action {
+            ChurnAction::Admit(s) => {
+                s.class == TenantClass::Noisy
+                    && s.vmdks.iter().any(|v| v.iops > cfg.iops_range.1 * 2.0)
+            }
+            _ => false,
+        });
+        assert!(noisy, "expected at least one noisy tenant");
+    }
+
+    #[test]
+    fn diurnal_rate_swings_around_the_base() {
+        let cfg = ChurnConfig::diurnal(4, 1);
+        let peak = cfg.rate_at(0.25); // quarter period = sinusoid max
+        let trough = cfg.rate_at(0.75);
+        assert!(peak > cfg.arrivals_per_hour * 1.5);
+        assert!(trough < cfg.arrivals_per_hour * 0.5);
+    }
+}

@@ -29,7 +29,7 @@ use std::path::PathBuf;
 /// level transitions (not per-I/O traffic), so goldens stay reviewable.
 /// `NetTransfer` is emitted once per cross-node copy round (aggregated),
 /// never per block, so it stays golden-sized too.
-const CONTROL_KINDS: [&str; 14] = [
+const CONTROL_KINDS: [&str; 17] = [
     "MigrationStart",
     "MigrationSuspend",
     "MigrationResume",
@@ -44,6 +44,9 @@ const CONTROL_KINDS: [&str; 14] = [
     "ReplayStart",
     "ReplayComplete",
     "ScrubRepair",
+    "TenantAdmit",
+    "TenantRetire",
+    "SloViolation",
 ];
 
 fn control_plane(events: Vec<TraceEvent>) -> Vec<TraceEvent> {
@@ -324,6 +327,87 @@ fn golden_scrub_repair() {
         .collect();
     assert!(!events.is_empty(), "scrubber repaired nothing");
     check_golden("scrub_repair", &events);
+}
+
+/// Drives a tiny serving-plane scenario: one tenant admitted onto a
+/// two-node fleet with an SLO low enough that the very first epoch
+/// violates it, held for a few epochs, then retired. The golden pins the
+/// full lifecycle — TenantAdmit, its Placements, the single SloViolation
+/// onset (later violating epochs are counted, not re-traced) and the
+/// TenantRetire carrying the violation total.
+fn run_tenant_lifecycle_scenario() -> Vec<TraceEvent> {
+    use nvdimm_hsm::core::{ServingConfig, ServingSim};
+    use nvdimm_hsm::workload::tenant::{TenantClass, TenantSpec, VmdkDemand};
+
+    let mut sim = ServingSim::new(ServingConfig::small(2));
+    let sink = shared(RingSink::new(1 << 12));
+    sim.set_trace_sink(sink.clone());
+    sim.set_now_s(5.0);
+    sim.admit_tenant(&TenantSpec {
+        tenant: 42,
+        home_node: 0,
+        slo_us: 50.0, // below any store's baseline: violated immediately
+        class: TenantClass::Standard,
+        vmdks: vec![
+            VmdkDemand {
+                blocks: 12_000,
+                iops: 120.0,
+                wr_ratio: 0.3,
+                rd_rand: 0.6,
+                wr_rand: 0.4,
+                mean_size_blocks: 8.0,
+            },
+            VmdkDemand {
+                blocks: 30_000,
+                iops: 40.0,
+                wr_ratio: 0.7,
+                rd_rand: 0.2,
+                wr_rand: 0.8,
+                mean_size_blocks: 16.0,
+            },
+        ],
+    })
+    .expect("the fresh fleet admits the tenant");
+    for _ in 0..3 {
+        sim.run_epoch();
+    }
+    sim.retire_tenant(42);
+    drain_ring(&sink)
+        .into_iter()
+        .filter(|e| {
+            matches!(
+                e.kind(),
+                "TenantAdmit" | "Placement" | "SloViolation" | "TenantRetire"
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn golden_tenant_lifecycle() {
+    let events = run_tenant_lifecycle_scenario();
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+    assert_eq!(kinds.first(), Some(&"TenantAdmit"), "{kinds:?}");
+    assert_eq!(kinds.last(), Some(&"TenantRetire"), "{kinds:?}");
+    assert_eq!(
+        kinds.iter().filter(|k| **k == "Placement").count(),
+        2,
+        "{kinds:?}"
+    );
+    assert_eq!(
+        kinds.iter().filter(|k| **k == "SloViolation").count(),
+        1,
+        "persistent violation must trace its onset exactly once: {kinds:?}"
+    );
+    let violations = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::TenantRetire { violations, .. } => Some(*violations),
+            _ => None,
+        })
+        .expect("retire event present");
+    assert_eq!(violations, 3, "three violating epochs before retirement");
+    check_golden("tenant_lifecycle", &events);
 }
 
 #[test]

@@ -1,0 +1,128 @@
+//! Differential oracle for the sharded policy engine.
+//!
+//! `ShardedPolicyEngine` promises that a *single* shard is pure
+//! delegation: every placement, every epoch decision and every trace
+//! event must come out byte-identical to the unsharded `Manager` on the
+//! same scenario. These tests pin that promise end to end through the
+//! real experiment drivers — request-level mix and cluster runs, and the
+//! control-plane churn run — comparing serialized reports and rendered
+//! JSONL traces as strings, not field-by-field, so *any* divergence
+//! fails.
+//!
+//! Multi-shard runs are allowed to differ (that is the point of the
+//! approximation); for them the oracle checks the documented contract
+//! instead: capacity is never violated and the run completes with a
+//! well-formed report.
+
+use nvhsm_core::PolicyKind;
+use nvhsm_experiments::churn::{run_churn, ChurnIntensity, ChurnParams};
+use nvhsm_experiments::cluster::{run_cluster_observed, ClusterParams};
+use nvhsm_experiments::mix::{run_mix_observed, MixParams};
+use nvhsm_experiments::obs::ObsOptions;
+use nvhsm_experiments::Scale;
+use nvhsm_obs::to_jsonl;
+
+const TRACED: ObsOptions = ObsOptions {
+    trace: true,
+    metrics: false,
+};
+
+#[test]
+fn one_shard_mix_is_byte_identical_to_unsharded() {
+    let flat = MixParams::standard(PolicyKind::Bca);
+    let sharded = MixParams {
+        shard_nodes: flat.nodes, // one shard spans the whole fleet
+        ..flat
+    };
+    let (report_a, obs_a) = run_mix_observed(flat, Scale::Quick, TRACED);
+    let (report_b, obs_b) = run_mix_observed(sharded, Scale::Quick, TRACED);
+    assert_eq!(
+        serde_json::to_string(&report_a).unwrap(),
+        serde_json::to_string(&report_b).unwrap(),
+        "one-shard mix report diverged from the unsharded manager"
+    );
+    assert_eq!(
+        to_jsonl(&obs_a.events),
+        to_jsonl(&obs_b.events),
+        "one-shard mix trace diverged from the unsharded manager"
+    );
+}
+
+#[test]
+fn one_shard_cluster_is_byte_identical_to_unsharded() {
+    let flat = ClusterParams::standard(PolicyKind::Bca);
+    let sharded = ClusterParams {
+        shard_nodes: flat.nodes,
+        ..flat
+    };
+    let (report_a, obs_a, _) = run_cluster_observed(flat, Scale::Quick, TRACED);
+    let (report_b, obs_b, _) = run_cluster_observed(sharded, Scale::Quick, TRACED);
+    assert_eq!(
+        serde_json::to_string(&report_a).unwrap(),
+        serde_json::to_string(&report_b).unwrap(),
+        "one-shard cluster report diverged from the unsharded manager"
+    );
+    assert_eq!(
+        to_jsonl(&obs_a.events),
+        to_jsonl(&obs_b.events),
+        "one-shard cluster trace diverged from the unsharded manager"
+    );
+}
+
+#[test]
+fn one_shard_churn_is_byte_identical_to_unsharded() {
+    let flat = ChurnParams {
+        shard_nodes: 0,
+        ..ChurnParams::standard()
+    };
+    let one = ChurnParams {
+        shard_nodes: flat.nodes,
+        ..flat
+    };
+    assert_eq!(
+        serde_json::to_string(&run_churn(flat, Scale::Quick)).unwrap(),
+        serde_json::to_string(&run_churn(one, Scale::Quick)).unwrap(),
+        "one-shard churn report diverged from the unsharded manager"
+    );
+}
+
+#[test]
+fn multi_shard_cluster_completes_with_a_well_formed_report() {
+    // Three nodes, one node per shard: the most aggressive sharding the
+    // fleet allows. The approximation may change *which* migrations run,
+    // but the run must complete and every metric stay finite.
+    let params = ClusterParams {
+        shard_nodes: 1,
+        ..ClusterParams::standard(PolicyKind::Bca)
+    };
+    let (report, _, _) = run_cluster_observed(params, Scale::Quick, ObsOptions::OFF);
+    assert_eq!(report.nodes, 3);
+    assert!(report.report.mean_latency_us.is_finite());
+    assert!(report.report.mean_latency_us > 0.0);
+    for lat in report.per_node_mean_latency_us() {
+        assert!(lat.is_finite());
+    }
+}
+
+#[test]
+fn multi_shard_churn_respects_every_capacity_ledger() {
+    // A sharded fleet under flash crowds — the admission-heavy path. The
+    // report's own accounting must balance: every admitted tenant either
+    // retires or is still live, and rejections are all typed (counted).
+    let r = run_churn(
+        ChurnParams {
+            nodes: 12,
+            shard_nodes: 3,
+            intensity: ChurnIntensity::Flash,
+            seed: 7,
+        },
+        Scale::Quick,
+    );
+    assert!(r.admitted > 0, "flash churn admitted nobody: {r:?}");
+    assert_eq!(
+        r.admitted,
+        r.retired + r.live_tenants,
+        "tenants leaked between admit and retire: {r:?}"
+    );
+    assert!(r.worst_p99_us.is_finite());
+}
