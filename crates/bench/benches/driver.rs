@@ -9,10 +9,10 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use nvhsm_core::manager::{NetworkCosts, PolicyEngine, ResidentInfo};
 use nvhsm_core::migration::ActiveMigration;
-use nvhsm_core::training::pretrain_models;
+use nvhsm_core::training::{pretrain_models, PerfModelSource};
 use nvhsm_core::{
-    shard_summaries, DatastoreId, Manager, MigrationMode, NodeConfig, NodeSim, PolicyKind,
-    ServingConfig, ServingSim, ShardedPolicyEngine, VmdkId,
+    shard_summaries, DatastoreId, Manager, MigrationMode, NodeConfig, NodeSim, OnlineModelConfig,
+    OnlineModels, PolicyKind, RefitPolicy, ServingConfig, ServingSim, ShardedPolicyEngine, VmdkId,
 };
 use nvhsm_device::{DeviceKind, IoOp, IoRequest, SsdConfig, SsdDevice, StorageDevice};
 use nvhsm_experiments::mix::{run_mix, MixParams};
@@ -147,6 +147,36 @@ fn bench_predict_memo(c: &mut Criterion) {
             for _ in 0..PASSES {
                 for f in &probes {
                     acc += models.predict_us(DeviceKind::Ssd, f);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    // The online source with a learned correction installed: the worst
+    // case the epoch-decision hot path can hit (memoized base lookup plus
+    // one residual-tree walk per prediction).
+    let mut online = OnlineModels::new(
+        pretrain_models(40, 7),
+        OnlineModelConfig {
+            policy: RefitPolicy::Periodic,
+            refit_every: 1,
+            min_refit_samples: 16,
+            ..OnlineModelConfig::default()
+        },
+    );
+    for f in &probes {
+        let truth = online.base().predict_us(DeviceKind::Ssd, f) + 150.0;
+        online.observe(DeviceKind::Ssd, f, truth);
+    }
+    online.end_epoch();
+    assert!(online.has_correction(DeviceKind::Ssd));
+    c.bench_function("driver/predict_online_64x8", |b| {
+        b.iter(|| {
+            PerfModelSource::clear_prediction_memo(&online);
+            let mut acc = 0.0;
+            for _ in 0..PASSES {
+                for f in &probes {
+                    acc += online.predict(DeviceKind::Ssd, f);
                 }
             }
             black_box(acc)

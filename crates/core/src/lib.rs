@@ -49,6 +49,7 @@ pub mod manager;
 pub mod migration;
 pub mod net;
 pub mod node;
+pub mod online;
 pub mod policy;
 pub mod serving;
 pub mod training;
@@ -65,7 +66,10 @@ pub use net::{Interconnect, LinkStats, NicConfig, NodeLinkStats};
 pub use node::{
     IoOutcome, MigrationEvent, NodeConfig, NodeReport, NodeSim, PlacementError, RecoveryPolicy,
 };
+pub use online::{ModelSource, OnlineModelConfig, OnlineModels, RefitPolicy};
 pub use policy::PolicyKind;
 pub use serving::{ServingConfig, ServingReport, ServingSim};
-pub use training::pretrain_models;
+pub use training::{
+    pretrain_models, ModelEvent, ModelObservation, ModelSourceStats, PerfModelSource,
+};
 pub use vmdk::{Vmdk, VmdkId};

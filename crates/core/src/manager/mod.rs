@@ -9,8 +9,11 @@
 
 use crate::datastore::DatastoreId;
 use crate::migration::{migration_benefit_us, migration_cost_us, MigrationMode, UnitCosts};
+use crate::online::ModelSource;
 use crate::policy::PolicyKind;
-use crate::training::DeviceModels;
+use crate::training::{
+    DeviceModels, ModelEvent, ModelObservation, ModelSourceStats, PerfModelSource,
+};
 use crate::vmdk::VmdkId;
 use nvhsm_device::{DeviceKind, EpochStats};
 use nvhsm_model::Features;
@@ -155,7 +158,10 @@ pub struct NetworkCosts {
 pub struct Manager {
     policy: PolicyKind,
     tau: f64,
-    models: DeviceModels,
+    source: ModelSource,
+    /// Cumulative model accounting: observation count, prediction error,
+    /// drift/refit tallies — uniform across static and online sources.
+    model_stats: ModelSourceStats,
     net: NetworkCosts,
     last_diagnostics: EpochDiagnostics,
     /// Consecutive epochs the imbalance threshold has been exceeded.
@@ -165,17 +171,27 @@ pub struct Manager {
 }
 
 impl Manager {
-    /// Builds a manager.
+    /// Builds a manager over the static pretrained models.
     ///
     /// # Panics
     ///
     /// Panics if `tau` is not in `(0, 1]`.
     pub fn new(policy: PolicyKind, tau: f64, models: DeviceModels) -> Self {
+        Self::with_source(policy, tau, ModelSource::Static(models))
+    }
+
+    /// Builds a manager over an explicit model source (static or online).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is not in `(0, 1]`.
+    pub fn with_source(policy: PolicyKind, tau: f64, source: ModelSource) -> Self {
         assert!(tau > 0.0 && tau <= 1.0, "tau must be in (0, 1]");
         Manager {
             policy,
             tau,
-            models,
+            source,
+            model_stats: ModelSourceStats::default(),
             net: NetworkCosts::default(),
             last_diagnostics: EpochDiagnostics::default(),
             consecutive_triggers: 1, // first call may act immediately
@@ -222,9 +238,41 @@ impl Manager {
         self.tau = tau;
     }
 
-    /// The trained device models.
+    /// The pretrained device models (the base characteristics even an
+    /// online source never updates: baselines, slopes, per-block costs).
     pub fn models(&self) -> &DeviceModels {
-        &self.models
+        self.source.base()
+    }
+
+    /// Feeds one epoch's observed (WC, MP) pairs to the model source and
+    /// accounts prediction error against the *pre-update* model.
+    pub fn observe_model(&mut self, observations: &[ModelObservation]) {
+        for o in observations {
+            let err = self.source.observe(o.kind, &o.features, o.measured_us);
+            self.model_stats.observations += 1;
+            if err.is_finite() && o.measured_us.is_finite() {
+                self.model_stats.err_sum_us += err;
+                self.model_stats.err_count += 1;
+            }
+        }
+    }
+
+    /// Closes the model epoch: drift detection and any due refits run
+    /// here (and only here — predictions are stable within an epoch).
+    pub fn end_model_epoch(&mut self) -> Vec<ModelEvent> {
+        let events = self.source.end_epoch();
+        for e in &events {
+            match e {
+                ModelEvent::Drift { .. } => self.model_stats.drifts += 1,
+                ModelEvent::Refit { .. } => self.model_stats.refits += 1,
+            }
+        }
+        events
+    }
+
+    /// Cumulative model accounting since construction.
+    pub fn model_stats(&self) -> ModelSourceStats {
+        self.model_stats
     }
 
     /// Diagnostics of the most recent [`Manager::epoch_decision`] call.
@@ -246,7 +294,7 @@ impl Manager {
             }
             loaded
                 .iter()
-                .map(|r| self.models.predict_us(DeviceKind::Nvdimm, &r.features))
+                .map(|r| self.source.predict(DeviceKind::Nvdimm, &r.features))
                 .sum::<f64>()
                 / loaded.len() as f64
         } else {
@@ -268,7 +316,7 @@ impl Manager {
             // load: fold the device's measured OIO in.
             f.oios += obs.epoch.oio();
             f.free_space_ratio = obs.free_space;
-            return self.models.predict_us(obs.kind, &f);
+            return self.source.predict(obs.kind, &f);
         }
         let current = self.device_perf_us(obs);
         if self.policy.uses_prediction() && obs.kind == DeviceKind::Nvdimm {
@@ -283,7 +331,7 @@ impl Manager {
                 0.0
             } else {
                 rest.iter()
-                    .map(|r| self.models.predict_us(obs.kind, &r.features))
+                    .map(|r| self.source.predict(obs.kind, &r.features))
                     .sum::<f64>()
                     / rest.len() as f64
             }
@@ -311,7 +359,7 @@ impl Manager {
     ) -> Option<MigrationDecision> {
         // New epoch, new feature vectors: memoized predictions from the
         // previous epoch can never hit again.
-        self.models.clear_prediction_memo();
+        self.source.clear_prediction_memo();
         let mut diag = EpochDiagnostics::default();
         // Raw per-device latencies (Eq. 5): the paper compares device
         // performance directly, which is what drives load toward the fast
@@ -439,8 +487,8 @@ impl Manager {
 
             let accept = if self.policy.cost_benefit() {
                 let unit = UnitCosts {
-                    src_read_us: per_block_read_us(src_obs, &self.models),
-                    dst_write_us: per_block_write_us(dst_obs, &self.models),
+                    src_read_us: per_block_read_us(src_obs, self.source.base()),
+                    dst_write_us: per_block_write_us(dst_obs, self.source.base()),
                     src_contention_us: self.contention_us(src_obs),
                     dst_contention_us: self.contention_us(dst_obs),
                     net_us: if dst_obs.node != src_obs.node {
@@ -689,6 +737,22 @@ pub trait PolicyEngine: Send {
     /// Contention-free service time of `kind`, µs — the engine uses it
     /// for OIO estimation and the lazy copy gate.
     fn baseline_us(&self, kind: DeviceKind) -> f64;
+
+    /// Feeds one epoch's observed (WC, MP) pairs to the engine's model
+    /// source. Defaults to a no-op so scripted test engines need not
+    /// care about model feedback.
+    fn observe_model(&mut self, _observations: &[ModelObservation]) {}
+
+    /// Closes the model epoch: drift detection and refits run here, at
+    /// the epoch boundary only. Defaults to no events.
+    fn end_model_epoch(&mut self) -> Vec<ModelEvent> {
+        Vec::new()
+    }
+
+    /// Cumulative model accounting. Defaults to all-zero.
+    fn model_stats(&self) -> ModelSourceStats {
+        ModelSourceStats::default()
+    }
 }
 
 impl PolicyEngine for Manager {
@@ -723,6 +787,18 @@ impl PolicyEngine for Manager {
 
     fn baseline_us(&self, kind: DeviceKind) -> f64 {
         self.models().baseline_us(kind)
+    }
+
+    fn observe_model(&mut self, observations: &[ModelObservation]) {
+        Manager::observe_model(self, observations);
+    }
+
+    fn end_model_epoch(&mut self) -> Vec<ModelEvent> {
+        Manager::end_model_epoch(self)
+    }
+
+    fn model_stats(&self) -> ModelSourceStats {
+        Manager::model_stats(self)
     }
 }
 

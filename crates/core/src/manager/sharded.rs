@@ -333,6 +333,22 @@ impl PolicyEngine for ShardedPolicyEngine {
     fn baseline_us(&self, kind: DeviceKind) -> f64 {
         self.inner.models().baseline_us(kind)
     }
+
+    // The model is cluster-global (one tree per device *kind*, not per
+    // shard), so observation feeding and epoch closing delegate to the
+    // inner manager with the full observation set — sharding changes
+    // which stores an epoch decision scans, never what the model learns.
+    fn observe_model(&mut self, observations: &[crate::training::ModelObservation]) {
+        self.inner.observe_model(observations);
+    }
+
+    fn end_model_epoch(&mut self) -> Vec<crate::training::ModelEvent> {
+        self.inner.end_model_epoch()
+    }
+
+    fn model_stats(&self) -> crate::training::ModelSourceStats {
+        self.inner.model_stats()
+    }
 }
 
 #[cfg(test)]

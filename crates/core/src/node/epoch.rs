@@ -10,6 +10,7 @@
 use super::{profile_features, NodeSim};
 use crate::manager::{DeviceHealth, DeviceObservation, ResidentInfo};
 use crate::migration::MigrationMode;
+use crate::training::{ModelEvent, ModelObservation};
 use nvhsm_cache::BufferCache;
 use nvhsm_device::{DeviceKind, NvdimmDevice};
 use nvhsm_obs::{emit, TraceEvent};
@@ -107,9 +108,80 @@ impl NodeSim {
         out
     }
 
+    /// Closes the model-feedback loop for one epoch: every resident with
+    /// enough measured traffic becomes one (features, measured latency)
+    /// observation, the model source updates (and possibly refits) at the
+    /// epoch boundary, and refit/drift events reach the trace and metrics
+    /// taps. Runs *before* the epoch decision so Eq. 4/5 arithmetic sees
+    /// the refreshed predictions.
+    fn feed_model(&mut self, observations: &[DeviceObservation]) {
+        // Residents with fewer epoch I/Os than this carry too noisy a
+        // latency mean to train on.
+        const MIN_EPOCH_IOS: u64 = 8;
+        let mut fed = Vec::new();
+        for o in observations {
+            for r in &o.residents {
+                if r.io_count >= MIN_EPOCH_IOS {
+                    fed.push(ModelObservation {
+                        kind: o.kind,
+                        features: r.features,
+                        measured_us: r.mean_latency_us,
+                    });
+                }
+            }
+        }
+        let before = self.manager.model_stats();
+        self.manager.observe_model(&fed);
+        let after = self.manager.model_stats();
+        let d_count = after.err_count.saturating_sub(before.err_count);
+        if d_count > 0 {
+            let d_err = (after.err_sum_us - before.err_sum_us).max(0.0);
+            if let Some(m) = &mut self.metrics {
+                m.observe("pred_error_us", "", 0, d_err / d_count as f64);
+            }
+        }
+        for e in self.manager.end_model_epoch() {
+            match e {
+                ModelEvent::Drift {
+                    kind,
+                    stat_us,
+                    threshold_us,
+                } => {
+                    emit(&self.trace, || TraceEvent::DriftDetected {
+                        t: self.now.as_ns(),
+                        device: kind.to_string(),
+                        stat_us,
+                        threshold_us,
+                    });
+                    if let Some(m) = &mut self.metrics {
+                        m.counter_inc("model_drifts", &kind.to_string(), 0);
+                    }
+                }
+                ModelEvent::Refit {
+                    kind,
+                    samples,
+                    err_before_us,
+                    err_after_us,
+                } => {
+                    emit(&self.trace, || TraceEvent::ModelRefit {
+                        t: self.now.as_ns(),
+                        device: kind.to_string(),
+                        samples: samples as u64,
+                        err_before_us,
+                        err_after_us,
+                    });
+                    if let Some(m) = &mut self.metrics {
+                        m.counter_inc("model_refits", &kind.to_string(), 0);
+                    }
+                }
+            }
+        }
+    }
+
     pub(crate) fn run_epoch(&mut self) {
         self.manage_faults();
         let observations = self.observe(true);
+        self.feed_model(&observations);
 
         // Fig. 15 bookkeeping: NVDIMM cache hit ratio this epoch.
         let (mut hits, mut misses, mut nv_reqs) = (0u64, 0u64, 0u64);

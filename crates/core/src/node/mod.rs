@@ -129,6 +129,12 @@ pub struct NodeConfig {
     /// value ≥ the node count yields one shard and is byte-identical to
     /// the unsharded manager (the differential-oracle tests pin this).
     pub shard_nodes: usize,
+    /// Online model updating: `Some` wraps the pretrained models in an
+    /// [`crate::OnlineModels`] source that learns residual corrections
+    /// from observed epoch latencies and refits on drift. `None` keeps
+    /// the paper's static §4 setup, byte-identical to builds without the
+    /// online subsystem.
+    pub online_model: Option<crate::online::OnlineModelConfig>,
 }
 
 impl NodeConfig {
@@ -160,6 +166,7 @@ impl NodeConfig {
             scrub_rate: 0,
             scrub_batch: 8,
             shard_nodes: 0,
+            online_model: None,
         }
     }
 }
@@ -286,13 +293,14 @@ impl NodeSim {
         assert!(nodes > 0, "need at least one node");
         let mut rng = SimRng::new(seed);
         let models = pretrain_models(cfg.train_requests, rng.next_u64());
+        let source = crate::online::ModelSource::from_config(models, cfg.online_model);
         let mut manager: Box<dyn PolicyEngine> = if cfg.shard_nodes > 0 {
             Box::new(crate::manager::ShardedPolicyEngine::new(
-                Manager::new(cfg.policy, cfg.tau, models),
+                Manager::with_source(cfg.policy, cfg.tau, source),
                 cfg.shard_nodes,
             ))
         } else {
-            Box::new(Manager::new(cfg.policy, cfg.tau, models))
+            Box::new(Manager::with_source(cfg.policy, cfg.tau, source))
         };
         // Fold the interconnect into the manager's what-if arithmetic: one
         // hop costs the propagation latency plus one block's wire time, and
@@ -513,6 +521,14 @@ impl NodeSim {
         self.manager.as_mut()
     }
 
+    /// The policy engine's model-source statistics so far (observations
+    /// fed, drifts, refits, mean absolute prediction error) — cumulative
+    /// over the whole run, so windowed measurements difference two
+    /// snapshots.
+    pub fn model_stats(&self) -> crate::training::ModelSourceStats {
+        self.manager.model_stats()
+    }
+
     /// Per-node interconnect link statistics.
     pub fn link_stats(&self) -> Vec<NodeLinkStats> {
         self.net.link_stats()
@@ -650,6 +666,23 @@ impl NodeSim {
             latency: OnlineStats::new(),
         });
         Ok(id)
+    }
+
+    /// Retunes a running workload's arrival rate and write ratio in place
+    /// — a MapReduce-style phase transition mid-run (the drift
+    /// experiment's regime shifts). The generator keeps its RNG stream
+    /// and clock; only the stream parameters change. The VMDK's admission
+    /// profile (and hence the Eq. 2 feature vector the manager sees) is
+    /// deliberately left alone: the characterization lagging the stream
+    /// is exactly the regime the online model source exists to absorb.
+    /// Returns `false` when `vmdk` is unknown.
+    pub fn retune_workload(&mut self, vmdk: VmdkId, iops: f64, wr_ratio: f64) -> bool {
+        let Some(w) = self.workloads.iter_mut().find(|w| w.vmdk.id() == vmdk) else {
+            return false;
+        };
+        w.generator.set_iops(iops);
+        w.generator.set_wr_ratio(wr_ratio);
+        true
     }
 
     /// Where `vmdk` currently lives (destination while migrating).

@@ -89,6 +89,17 @@ pub struct NodeReport {
     pub placements_rejected: u64,
     /// Payload bytes the run put on the cross-node interconnect.
     pub net_bytes: u64,
+    /// (features, measured latency) pairs fed to the model source.
+    pub model_observations: u64,
+    /// Page–Hinkley drift detections across all device kinds (always 0
+    /// for the static source).
+    pub model_drifts: u64,
+    /// Online model refits across all device kinds (always 0 for the
+    /// static source).
+    pub model_refits: u64,
+    /// Mean absolute prediction error over every model observation, µs —
+    /// measured against the model in force when each observation arrived.
+    pub model_pred_err_us: f64,
     /// NVDIMM buffer-cache hit ratio per epoch, as (cumulative NVDIMM
     /// requests, hit ratio) — Fig. 15's axes.
     ///
@@ -214,6 +225,7 @@ impl NodeSim {
         for m in &self.migrations {
             migration_wall += until.saturating_since(m.active.started);
         }
+        let model_stats = self.manager.model_stats();
         NodeReport {
             policy: self.cfg.policy.to_string(),
             io_count,
@@ -255,6 +267,10 @@ impl NodeSim {
             scrub_errors: self.scrub_errors,
             placements_rejected: self.placements_rejected,
             net_bytes: self.net.total_bytes(),
+            model_observations: model_stats.observations,
+            model_drifts: model_stats.drifts,
+            model_refits: model_stats.refits,
+            model_pred_err_us: model_stats.mean_abs_err_us(),
             // O(1) handle copies — see the NodeReport field docs.
             nvdimm_hit_ratio: Arc::clone(&self.hit_ratio_series),
             nvdimm_latency_series: Arc::clone(&self.nvdimm_latency_series),

@@ -38,8 +38,11 @@ use crate::manager::{
     ShardedPolicyEngine,
 };
 use crate::node::PlacementError;
+use crate::online::{ModelSource, OnlineModelConfig};
 use crate::policy::PolicyKind;
-use crate::training::{pretrain_models, DeviceModels};
+use crate::training::{
+    pretrain_models, DeviceModels, ModelEvent, ModelObservation, ModelSourceStats,
+};
 use crate::vmdk::VmdkId;
 use nvhsm_device::{DeviceKind, EpochStats};
 use nvhsm_model::Features;
@@ -79,6 +82,10 @@ pub struct ServingConfig {
     pub train_requests: usize,
     /// Training seed.
     pub seed: u64,
+    /// Online model updating for the engine (`None` = the static
+    /// pretrained source, byte-identical to builds without the online
+    /// subsystem).
+    pub online_model: Option<OnlineModelConfig>,
 }
 
 impl ServingConfig {
@@ -104,6 +111,7 @@ impl ServingConfig {
             p99_factor: 3.0,
             train_requests: 30,
             seed: 11,
+            online_model: None,
         }
     }
 }
@@ -203,21 +211,17 @@ impl ServingSim {
             hop_us: cfg.hop_us,
             per_block_us: 0.0,
         };
+        let source = ModelSource::from_config(
+            pretrain_models(cfg.train_requests, cfg.seed),
+            cfg.online_model,
+        );
         let mut engine: Box<dyn PolicyEngine> = if cfg.shard_nodes > 0 {
             Box::new(ShardedPolicyEngine::new(
-                Manager::new(
-                    cfg.policy,
-                    cfg.tau,
-                    pretrain_models(cfg.train_requests, cfg.seed),
-                ),
+                Manager::with_source(cfg.policy, cfg.tau, source),
                 cfg.shard_nodes,
             ))
         } else {
-            Box::new(Manager::new(
-                cfg.policy,
-                cfg.tau,
-                pretrain_models(cfg.train_requests, cfg.seed),
-            ))
+            Box::new(Manager::with_source(cfg.policy, cfg.tau, source))
         };
         engine.set_network(net);
         let tier_blocks = cfg.tier_blocks;
@@ -383,6 +387,7 @@ impl ServingSim {
         self.now_ns += (self.cfg.epoch_s * 1e9) as u64;
         self.report.epochs += 1;
         self.obs = self.build_observations();
+        self.feed_model();
         if let Some(d) = self.engine.epoch_decision(&self.obs, false) {
             let (src, dst) = (d.src.0, d.dst.0);
             let demand = self.vmdks.get(&d.vmdk.0).map(|v| v.demand);
@@ -409,6 +414,77 @@ impl ServingSim {
             vetoed,
         });
         self.settle_qos();
+    }
+
+    /// Feeds the engine's model source this epoch's (features, analytic
+    /// latency) pairs and closes its model epoch — the serving-plane
+    /// mirror of the request-level simulator's feedback tap, so flat and
+    /// sharded engines learn from the same seam at both scales.
+    fn feed_model(&mut self) {
+        let fed: Vec<ModelObservation> = self
+            .obs
+            .iter()
+            .flat_map(|o| {
+                o.residents
+                    .iter()
+                    .filter(|r| r.io_count > 0)
+                    .map(|r| ModelObservation {
+                        kind: o.kind,
+                        features: r.features,
+                        measured_us: r.mean_latency_us,
+                    })
+            })
+            .collect();
+        let before = self.engine.model_stats();
+        self.engine.observe_model(&fed);
+        let after = self.engine.model_stats();
+        let d_count = after.err_count.saturating_sub(before.err_count);
+        if d_count > 0 {
+            let d_err = (after.err_sum_us - before.err_sum_us).max(0.0);
+            self.metrics
+                .observe("pred_error_us", "", 0, d_err / d_count as f64);
+        }
+        let t = self.now_ns;
+        for e in self.engine.end_model_epoch() {
+            match e {
+                ModelEvent::Drift {
+                    kind,
+                    stat_us,
+                    threshold_us,
+                } => {
+                    emit(&self.trace, || TraceEvent::DriftDetected {
+                        t,
+                        device: kind.to_string(),
+                        stat_us,
+                        threshold_us,
+                    });
+                    self.metrics
+                        .counter_inc("model_drifts", &kind.to_string(), 0);
+                }
+                ModelEvent::Refit {
+                    kind,
+                    samples,
+                    err_before_us,
+                    err_after_us,
+                } => {
+                    emit(&self.trace, || TraceEvent::ModelRefit {
+                        t,
+                        device: kind.to_string(),
+                        samples: samples as u64,
+                        err_before_us,
+                        err_after_us,
+                    });
+                    self.metrics
+                        .counter_inc("model_refits", &kind.to_string(), 0);
+                }
+            }
+        }
+    }
+
+    /// The engine's model-source statistics so far (observations fed,
+    /// drifts, refits, mean absolute prediction error).
+    pub fn model_stats(&self) -> ModelSourceStats {
+        self.engine.model_stats()
     }
 
     /// Per-tenant QoS settlement for the epoch that just closed.
@@ -686,153 +762,4 @@ impl ServingSim {
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use nvhsm_obs::{drain_ring, shared, RingSink};
-    use nvhsm_workload::tenant::TenantClass;
-
-    fn spec(tenant: u32, home: usize, blocks: u64, iops: f64, slo_us: f64) -> TenantSpec {
-        TenantSpec {
-            tenant,
-            home_node: home,
-            slo_us,
-            class: TenantClass::Standard,
-            vmdks: vec![VmdkDemand {
-                blocks,
-                iops,
-                wr_ratio: 0.3,
-                rd_rand: 0.5,
-                wr_rand: 0.5,
-                mean_size_blocks: 8.0,
-            }],
-        }
-    }
-
-    #[test]
-    fn quota_gate_rejects_with_typed_error_and_clean_ledgers() {
-        let mut sim = ServingSim::new(ServingConfig::small(2));
-        let err = sim
-            .admit_tenant(&spec(7, 0, 999_999_999, 50.0, 2000.0))
-            .unwrap_err();
-        assert!(matches!(
-            err,
-            PlacementError::TenantOverQuota { tenant: 7, .. }
-        ));
-        assert!(sim.store_usage().iter().all(|&(used, _)| used == 0));
-        assert_eq!(sim.report().rejected_quota, 1);
-    }
-
-    #[test]
-    fn admission_is_all_or_nothing() {
-        let mut cfg = ServingConfig::small(1);
-        cfg.tier_blocks = [1_000, 1_000, 1_000];
-        cfg.tenant_quota_blocks = 10_000;
-        let mut sim = ServingSim::new(cfg);
-        // Two VMDKs: the first fits anywhere, the second fits nowhere.
-        let mut s = spec(1, 0, 900, 20.0, 2000.0);
-        s.vmdks.push(VmdkDemand {
-            blocks: 5_000,
-            ..s.vmdks[0]
-        });
-        let err = sim.admit_tenant(&s).unwrap_err();
-        assert!(matches!(err, PlacementError::NoFeasibleDatastore { .. }));
-        assert!(
-            sim.store_usage().iter().all(|&(used, _)| used == 0),
-            "rollback must release the sibling placement"
-        );
-        assert_eq!(sim.report().live_vmdks, 0);
-    }
-
-    #[test]
-    fn retire_releases_every_block() {
-        let mut sim = ServingSim::new(ServingConfig::small(2));
-        sim.admit_tenant(&spec(3, 1, 20_000, 80.0, 2000.0)).unwrap();
-        let held: u64 = sim.store_usage().iter().map(|&(u, _)| u).sum();
-        assert_eq!(held, 20_000);
-        assert!(sim.retire_tenant(3));
-        let held: u64 = sim.store_usage().iter().map(|&(u, _)| u).sum();
-        assert_eq!(held, 0);
-        assert!(!sim.retire_tenant(3), "double retire must be a no-op");
-    }
-
-    #[test]
-    fn slo_violation_traces_on_onset_only() {
-        let sink = shared(RingSink::new(256));
-        let mut sim = ServingSim::new(ServingConfig::small(1));
-        sim.set_trace_sink(sink.clone());
-        // An SLO below the NVDIMM baseline is unconditionally violated.
-        sim.admit_tenant(&spec(9, 0, 4_000, 200.0, 0.01)).unwrap();
-        for _ in 0..4 {
-            sim.run_epoch();
-        }
-        sim.retire_tenant(9);
-        let events = drain_ring(&sink);
-        let onsets = events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::SloViolation { .. }))
-            .count();
-        assert_eq!(onsets, 1, "4 violating epochs must trace one onset");
-        assert_eq!(sim.report().slo_violation_epochs, 4);
-        let retire = events.iter().find_map(|e| match e {
-            TraceEvent::TenantRetire { violations, .. } => Some(*violations),
-            _ => None,
-        });
-        assert_eq!(retire, Some(4));
-    }
-
-    #[test]
-    fn tenant_served_counters_sum_to_store_totals() {
-        let mut sim = ServingSim::new(ServingConfig::small(2));
-        for t in 0..6 {
-            sim.admit_tenant(&spec(
-                t,
-                t as usize,
-                5_000 + 1_000 * t as u64,
-                30.0 + t as f64,
-                2000.0,
-            ))
-            .unwrap();
-        }
-        for _ in 0..3 {
-            sim.run_epoch();
-        }
-        let snap = sim.metrics().snapshot();
-        let (mut by_tenant, mut by_store) = (0u64, 0u64);
-        for c in &snap.counters {
-            if c.key.name == "served_ios" {
-                match c.key.device.as_str() {
-                    "tenant" => by_tenant += c.value,
-                    "store" => by_store += c.value,
-                    other => panic!("unexpected served_ios device {other}"),
-                }
-            }
-        }
-        assert!(by_tenant > 0);
-        assert_eq!(by_tenant, by_store);
-    }
-
-    #[test]
-    fn sharded_serving_runs_and_reports_spills() {
-        let mut cfg = ServingConfig::small(6);
-        cfg.shard_nodes = 2;
-        cfg.tier_blocks = [2_000, 4_000, 8_000];
-        let mut sim = ServingSim::new(cfg);
-        let mut admitted = 0;
-        // Every tenant calls node 0 home: the home shard (nodes 0–1)
-        // fills quickly and later arrivals must spill across shards.
-        for t in 0..40 {
-            if sim.admit_tenant(&spec(t, 0, 3_000, 60.0, 2000.0)).is_ok() {
-                admitted += 1;
-            }
-        }
-        sim.run_epoch();
-        let r = sim.report();
-        assert_eq!(r.admitted, admitted);
-        assert!(
-            r.spill_placements > 0,
-            "tight home shards must overflow into neighbours: {r:?}"
-        );
-        // Capacity invariant even under spill.
-        assert!(sim.store_usage().iter().all(|&(u, c)| u <= c));
-    }
-}
+mod tests;

@@ -25,7 +25,7 @@ use std::collections::HashMap;
 /// epoch-decision hot path, and hashing even a one-byte enum key twice
 /// per call (gate lookup + model lookup) used to cost more than the tree
 /// walk itself.
-const fn kind_index(kind: DeviceKind) -> usize {
+pub(crate) const fn kind_index(kind: DeviceKind) -> usize {
     match kind {
         DeviceKind::Nvdimm => 0,
         DeviceKind::Ssd => 1,
@@ -154,6 +154,123 @@ impl DeviceModels {
     }
 }
 
+/// One observed (workload characteristics, measured latency) pair, as
+/// tapped from the staged datapath's accounting point and handed to the
+/// model source at each epoch boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelObservation {
+    /// Device tier the workload was served from.
+    pub kind: DeviceKind,
+    /// Eq. 2 features of the workload in the closing epoch.
+    pub features: Features,
+    /// Measured mean service latency over the epoch, µs (the `MP` the
+    /// online model learns from).
+    pub measured_us: f64,
+}
+
+/// What a model source did at an epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelEvent {
+    /// The windowed prediction-error statistic crossed its threshold.
+    Drift {
+        /// Affected device tier.
+        kind: DeviceKind,
+        /// Page–Hinkley statistic at the crossing, µs.
+        stat_us: f64,
+        /// The configured threshold λ, µs.
+        threshold_us: f64,
+    },
+    /// A refit of the affected tier's correction tree was installed.
+    Refit {
+        /// Affected device tier.
+        kind: DeviceKind,
+        /// Window samples the refit trained on.
+        samples: usize,
+        /// Mean absolute prediction error over the window before the
+        /// refit, µs.
+        err_before_us: f64,
+        /// Mean absolute prediction error over the window after the
+        /// refit, µs.
+        err_after_us: f64,
+    },
+}
+
+/// Cumulative counters of a model source, for reports and metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ModelSourceStats {
+    /// (features, latency) pairs observed.
+    pub observations: u64,
+    /// Drift detections.
+    pub drifts: u64,
+    /// Refits installed.
+    pub refits: u64,
+    /// Sum of absolute prediction errors at observation time, µs.
+    pub err_sum_us: f64,
+    /// Errors accumulated into `err_sum_us`.
+    pub err_count: u64,
+}
+
+impl ModelSourceStats {
+    /// Mean absolute prediction error over everything observed, µs.
+    pub fn mean_abs_err_us(&self) -> f64 {
+        if self.err_count == 0 {
+            0.0
+        } else {
+            self.err_sum_us / self.err_count as f64
+        }
+    }
+}
+
+/// A pluggable source of device-performance predictions (`PP = f(WC)`,
+/// Eq. 1): the static pretrained [`DeviceModels`] or an online-updating
+/// variant that learns from observed (WC, MP) pairs.
+///
+/// `observe` returns the absolute prediction error of the *pre-update*
+/// model so callers can account error without predicting twice; refits
+/// happen only inside `end_epoch`, keeping predictions stable within an
+/// epoch (and the grid driver's byte-identical guarantee intact).
+pub trait PerfModelSource {
+    /// Predicted latency of `kind` under `features`, µs.
+    fn predict(&self, kind: DeviceKind, features: &Features) -> f64;
+
+    /// Feeds one observed (WC, MP) pair; returns the absolute error of
+    /// the current prediction against `measured_us`, µs.
+    fn observe(&mut self, kind: DeviceKind, features: &Features, measured_us: f64) -> f64;
+
+    /// Closes the epoch: runs drift detection and any due refits,
+    /// returning what happened (empty for static sources).
+    fn end_epoch(&mut self) -> Vec<ModelEvent>;
+
+    /// The pretrained base models (baselines, slopes, per-block costs —
+    /// characteristics no online update touches).
+    fn base(&self) -> &DeviceModels;
+
+    /// Drops memoized predictions (called once per management epoch).
+    fn clear_prediction_memo(&self);
+}
+
+impl PerfModelSource for DeviceModels {
+    fn predict(&self, kind: DeviceKind, features: &Features) -> f64 {
+        self.predict_us(kind, features)
+    }
+
+    fn observe(&mut self, kind: DeviceKind, features: &Features, measured_us: f64) -> f64 {
+        (self.predict_us(kind, features) - measured_us).abs()
+    }
+
+    fn end_epoch(&mut self) -> Vec<ModelEvent> {
+        Vec::new()
+    }
+
+    fn base(&self) -> &DeviceModels {
+        self
+    }
+
+    fn clear_prediction_memo(&self) {
+        DeviceModels::clear_prediction_memo(self);
+    }
+}
+
 /// Measures the per-block sequential streaming latency of a fresh device
 /// (the unit cost of a bulk migration copy).
 fn measure_seq_block_us(kind: DeviceKind) -> f64 {
@@ -279,13 +396,10 @@ fn train_kind(
 
     // Baseline + slope from the collected samples: baseline is the mean
     // latency of the lowest-OIO tercile, slope a two-point fit.
+    // total_cmp: measured OIOs are finite by construction, but a NaN
+    // slipping in should not panic the whole pretraining pass.
     let mut by_oio: Vec<&Sample> = data.samples().iter().collect();
-    by_oio.sort_by(|a, b| {
-        a.features
-            .oios
-            .partial_cmp(&b.features.oios)
-            .expect("finite OIO")
-    });
+    by_oio.sort_by(|a, b| a.features.oios.total_cmp(&b.features.oios));
     let third = (by_oio.len() / 3).max(1);
     let lo = &by_oio[..third];
     let hi = &by_oio[by_oio.len() - third..];

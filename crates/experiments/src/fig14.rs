@@ -139,9 +139,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn both_policies_beat_baseline_on_average() {
+    fn both_policies_beat_baseline_on_average() -> Result<(), crate::harness::MissingValue> {
         let r = run(Scale::Quick);
-        let avg = r.rows.last().unwrap();
+        let avg = r.last_row()?;
         assert!(avg.values[0] > 1.0, "P1 speedup {:?}", avg.values);
         assert!(
             avg.values[2] >= avg.values[0] * 0.98,
@@ -152,5 +152,6 @@ mod tests {
             "combined speedup too small: {:?}",
             avg.values
         );
+        Ok(())
     }
 }

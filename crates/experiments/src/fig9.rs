@@ -84,35 +84,40 @@ mod tests {
     use super::*;
 
     #[test]
-    fn policy_one_unblocks_the_second_channel() {
+    fn policy_one_unblocks_the_second_channel() -> Result<(), crate::harness::MissingValue> {
         let r = run(Scale::Quick);
         // RC (migrated, channel 2) completes in the first service slot
         // under Policy One — concurrent with RA.
-        let ra_p1 = r.value("b_policy_one", 0).unwrap();
-        let rc_p1 = r.value("b_policy_one", 2).unwrap();
+        let ra_p1 = r.require("b_policy_one", 0)?;
+        let rc_p1 = r.require("b_policy_one", 2)?;
         assert_eq!(rc_p1, ra_p1, "RC should run concurrently with RA");
         // RG (migrated, channel 2, last epoch) also jumps ahead.
-        let rg_base = r.value("a_baseline", 6).unwrap();
-        let rg_p1 = r.value("b_policy_one", 6).unwrap();
+        let rg_base = r.require("a_baseline", 6)?;
+        let rg_p1 = r.require("b_policy_one", 6)?;
         assert!(
             rg_p1 < rg_base,
             "RG not earlier under P1: {rg_p1} vs {rg_base}"
         );
         // Nothing finishes later than it did under the baseline.
         for i in 0..8 {
-            let base = r.value("a_baseline", i).unwrap();
-            let p1 = r.value("b_policy_one", i).unwrap();
+            let base = r.require("a_baseline", i)?;
+            let p1 = r.require("b_policy_one", i)?;
             assert!(p1 <= base, "request {i} regressed: {p1} vs {base}");
         }
+        Ok(())
     }
 
     #[test]
-    fn baseline_respects_every_barrier() {
+    fn baseline_respects_every_barrier() -> Result<(), crate::harness::MissingValue> {
         let r = run(Scale::Quick);
         // Epoch order: RA < {RB,RC,RD} < RE < {RF,RG,RH}.
-        let t = |i: usize| r.value("a_baseline", i).unwrap();
-        assert!(t(0) < t(1) && t(0) < t(2) && t(0) < t(3));
-        assert!(t(1).max(t(2)).max(t(3)) <= t(4));
-        assert!(t(4) < t(5) && t(4) < t(6) && t(4) < t(7));
+        let mut t = [0.0f64; 8];
+        for (i, slot) in t.iter_mut().enumerate() {
+            *slot = r.require("a_baseline", i)?;
+        }
+        assert!(t[0] < t[1] && t[0] < t[2] && t[0] < t[3]);
+        assert!(t[1].max(t[2]).max(t[3]) <= t[4]);
+        assert!(t[4] < t[5] && t[4] < t[6] && t[4] < t[7]);
+        Ok(())
     }
 }

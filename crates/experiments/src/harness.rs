@@ -110,6 +110,28 @@ impl ExperimentResult {
         self.value(label, column).unwrap_or(default)
     }
 
+    /// Like [`ExperimentResult::value`], but a missing row or column is a
+    /// typed [`MissingValue`] naming what was absent — for assertions and
+    /// downstream consumers that must not silently substitute a default
+    /// and must not panic with a bare `unwrap` either.
+    pub fn require(&self, label: &str, column: usize) -> Result<f64, MissingValue> {
+        self.value(label, column).ok_or_else(|| MissingValue {
+            id: self.id.clone(),
+            label: label.to_owned(),
+            column,
+        })
+    }
+
+    /// The last row of the table, or a typed error when the sweep produced
+    /// none (summary rows are pushed last by convention).
+    pub fn last_row(&self) -> Result<&Row, MissingValue> {
+        self.rows.last().ok_or_else(|| MissingValue {
+            id: self.id.clone(),
+            label: "<last row>".to_owned(),
+            column: 0,
+        })
+    }
+
     /// Renders the result as CSV (label column + value columns), for
     /// plotting tools.
     pub fn to_csv(&self) -> String {
@@ -175,6 +197,30 @@ impl ExperimentResult {
     }
 }
 
+/// A row/column lookup that found nothing: which table, which row label,
+/// which column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingValue {
+    /// Artifact id of the table consulted.
+    pub id: String,
+    /// Row label looked up.
+    pub label: String,
+    /// Column index looked up.
+    pub column: usize,
+}
+
+impl std::fmt::Display for MissingValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "experiment {}: no value at row {:?}, column {}",
+            self.id, self.label, self.column
+        )
+    }
+}
+
+impl std::error::Error for MissingValue {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +254,20 @@ mod tests {
         assert_eq!(r.value("x", 0), Some(7.0));
         assert_eq!(r.value("x", 1), None);
         assert_eq!(r.value("y", 0), None);
+    }
+
+    #[test]
+    fn require_names_the_missing_cell() {
+        let mut r = ExperimentResult::new("t", "demo", vec!["a".into()]);
+        r.push_row(Row::new("x", vec![7.0]));
+        assert_eq!(r.require("x", 0), Ok(7.0));
+        let err = r.require("y", 2).unwrap_err();
+        assert_eq!(err.label, "y");
+        assert_eq!(err.column, 2);
+        assert!(err.to_string().contains("experiment t"));
+        assert!(r.last_row().is_ok());
+        let empty = ExperimentResult::new("e", "empty", vec![]);
+        assert!(empty.last_row().is_err());
     }
 
     #[test]

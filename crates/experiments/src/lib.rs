@@ -29,11 +29,13 @@
 //! | `cluster` | cross-node migration — node count × NIC bandwidth × policy over the modeled interconnect |
 //! | `crash`   | whole-node power loss — crash rate × recovery policy × scrub rate |
 //! | `churn`   | multi-tenant serving — cluster size × shard size × open-loop tenant churn |
+//! | `drift`   | online-learned performance model — static vs online source under a mid-run regime shift |
 
 pub mod characterization;
 pub mod churn;
 pub mod cluster;
 pub mod crash;
+pub mod drift;
 pub mod faults;
 pub mod fig10;
 pub mod fig12;
@@ -58,7 +60,7 @@ pub mod tau;
 pub use harness::{ExperimentResult, Row, Scale};
 
 /// All experiment ids, in paper order.
-pub const ALL_EXPERIMENTS: [&str; 21] = [
+pub const ALL_EXPERIMENTS: [&str; 22] = [
     "table1",
     "table2",
     "fig4",
@@ -80,6 +82,7 @@ pub const ALL_EXPERIMENTS: [&str; 21] = [
     "cluster",
     "crash",
     "churn",
+    "drift",
 ];
 
 /// Runs one experiment by id.
@@ -110,6 +113,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Result<ExperimentResult, String
         "cluster" => Ok(cluster::run(scale)),
         "crash" => Ok(crash::run(scale)),
         "churn" => Ok(churn::run(scale)),
+        "drift" => Ok(drift::run(scale)),
         other => Err(format!(
             "unknown experiment '{other}'; known: {}",
             ALL_EXPERIMENTS.join(", ")

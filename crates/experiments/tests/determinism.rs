@@ -5,7 +5,7 @@
 use nvhsm_device::{IoOp, IoRequest, SsdConfig, SsdDevice, StorageDevice};
 use nvhsm_experiments::churn::{self, ChurnIntensity, ChurnParams};
 use nvhsm_experiments::obs::{self, ObsOptions};
-use nvhsm_experiments::{cluster, crash, faults, fig12, Scale};
+use nvhsm_experiments::{cluster, crash, drift, faults, fig12, Scale};
 use nvhsm_obs::to_jsonl;
 use nvhsm_sim::{parallel, SimDuration, SimRng, SimTime};
 use std::sync::Mutex;
@@ -292,6 +292,76 @@ fn datacenter_scale_churn_is_byte_identical_across_job_counts() {
     assert!(
         placed >= 10_000,
         "datacenter scenario too small: {placed} VMDKs placed"
+    );
+    assert_eq!(serial, fanned);
+}
+
+#[test]
+fn drift_experiment_is_byte_identical_across_job_counts() {
+    // Online refits must consume no simulation RNG and key only to epoch
+    // boundaries: the learned corrections, drift detections and the
+    // decisions they steer reproduce exactly regardless of the worker
+    // count.
+    let _guard = JOBS_LOCK.lock().unwrap();
+    parallel::set_jobs(Some(1));
+    let serial = drift::run(Scale::Quick);
+    parallel::set_jobs(Some(4));
+    let parallel_run = drift::run(Scale::Quick);
+    parallel::set_jobs(None);
+
+    assert_eq!(serial.render(), parallel_run.render());
+    assert_eq!(serial.to_csv(), parallel_run.to_csv());
+    assert_eq!(
+        serde_json::to_string(&serial).expect("serializable"),
+        serde_json::to_string(&parallel_run).expect("serializable"),
+    );
+}
+
+/// Runs the drift sweep with tracing + metrics armed and renders every
+/// scenario capture into one string, exactly as `--trace`/`--metrics` would.
+fn traced_drift_dump() -> String {
+    obs::set_observation(ObsOptions {
+        trace: true,
+        metrics: true,
+    });
+    let report = drift::run(Scale::Quick);
+    let mut dump = String::new();
+    for s in obs::take_observations() {
+        dump.push_str(&format!(
+            "## grid={} case={} label={} dropped={}\n",
+            s.grid, s.case, s.label, s.dropped
+        ));
+        dump.push_str(&to_jsonl(&s.events));
+        if let Some(snap) = &s.metrics {
+            dump.push_str(&serde_json::to_string(snap).expect("serializable snapshot"));
+            dump.push('\n');
+        }
+    }
+    obs::set_observation(ObsOptions::OFF);
+    dump.push_str(&report.to_csv());
+    dump
+}
+
+#[test]
+fn drift_traces_are_byte_identical_across_job_counts() {
+    // ModelRefit/DriftDetected events and the pred_error_us metrics must
+    // order by (grid, case), never by worker completion — and the online
+    // arms must actually emit them.
+    let _guard = JOBS_LOCK.lock().unwrap();
+    parallel::set_jobs(Some(1));
+    let serial = traced_drift_dump();
+    parallel::set_jobs(Some(4));
+    let fanned = traced_drift_dump();
+    parallel::set_jobs(None);
+
+    assert!(!serial.is_empty());
+    assert!(
+        serial.contains("ModelRefit"),
+        "drift trace is missing model refit events"
+    );
+    assert!(
+        serial.contains("DriftDetected"),
+        "drift trace is missing drift detection events"
     );
     assert_eq!(serial, fanned);
 }

@@ -41,7 +41,7 @@ pub use contention::ContentionEstimator;
 pub use features::{Dataset, Features, Sample, FEATURE_NAMES, NUM_FEATURES};
 pub use linreg::LinearRegression;
 pub use metrics::{mape, r2, rmse};
-pub use regtree::{LeafModel, RegTreeConfig, RegressionTree};
+pub use regtree::{FlatTree, LeafModel, RegTreeConfig, RegressionTree};
 pub use validation::{cross_validate, feature_importance, CrossValidation};
 
 use serde::{Deserialize, Serialize};

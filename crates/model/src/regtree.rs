@@ -122,12 +122,15 @@ fn best_split(samples: &[&Sample], min_leaf: usize) -> Option<BestSplit> {
     for feature in 0..NUM_FEATURES {
         // Sort sample indices by this feature.
         let mut order: Vec<usize> = (0..n).collect();
+        // total_cmp instead of partial_cmp().expect(): fitting now also
+        // runs online on field-observed features (the residual-correction
+        // refits), and a stray NaN should yield a poor split, not a
+        // panic. For finite inputs the ordering is unchanged.
         order.sort_by(|&a, &b| {
             samples[a]
                 .features
                 .get(feature)
-                .partial_cmp(&samples[b].features.get(feature))
-                .expect("finite features")
+                .total_cmp(&samples[b].features.get(feature))
         });
         // Prefix sums of y and y² in feature order.
         let ys: Vec<f64> = order.iter().map(|&i| samples[i].latency_us).collect();
@@ -269,6 +272,57 @@ impl RegressionTree {
         }
     }
 
+    /// Flattens a constant-leaf tree into a [`FlatTree`] for hot-path
+    /// prediction. Returns `None` when any leaf carries a linear model:
+    /// those leaves need the full per-feature dot product and gain
+    /// nothing from flattening.
+    pub fn flatten(&self) -> Option<FlatTree> {
+        fn emit(node: &Node, out: &mut Vec<FlatNode>) -> Option<()> {
+            match node {
+                Node::Leaf {
+                    mean,
+                    lo,
+                    hi,
+                    linear,
+                } => {
+                    if linear.is_some() {
+                        return None;
+                    }
+                    out.push(FlatNode {
+                        feature: FLAT_LEAF,
+                        right: 0,
+                        threshold: 0.0,
+                        // Exactly what `predict` computes for this leaf.
+                        value: mean.clamp(*lo, *hi),
+                    });
+                    Some(())
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let here = out.len();
+                    out.push(FlatNode {
+                        feature: *feature as u32,
+                        right: 0,
+                        threshold: *threshold,
+                        value: 0.0,
+                    });
+                    // Preorder: the left child sits at `here + 1`, so only
+                    // the right child's index needs storing.
+                    emit(left, out)?;
+                    out[here].right = out.len() as u32;
+                    emit(right, out)
+                }
+            }
+        }
+        let mut nodes = Vec::with_capacity(2 * self.leaves);
+        emit(&self.root, &mut nodes)?;
+        Some(FlatTree { nodes })
+    }
+
     /// Feature index of the root split, if the tree has one (the "best
     /// first split" of the paper's Fig. 6 walk-through).
     pub fn root_split_feature(&self) -> Option<usize> {
@@ -300,6 +354,62 @@ impl RegressionTree {
     /// Number of leaves.
     pub fn leaf_count(&self) -> usize {
         self.leaves
+    }
+}
+
+/// Leaf sentinel in [`FlatNode::feature`].
+const FLAT_LEAF: u32 = u32::MAX;
+
+/// One node of a [`FlatTree`], sized and laid out for the walk: the
+/// comparison operands come out of one cache line, leaves carry their
+/// precomputed (already clamped) value, and the left child is implicit
+/// at the next index.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct FlatNode {
+    /// Split feature index, or [`FLAT_LEAF`] for a leaf.
+    feature: u32,
+    /// Preorder index of the right child (left child is `self + 1`).
+    right: u32,
+    /// Split threshold.
+    threshold: f64,
+    /// Leaf prediction.
+    value: f64,
+}
+
+/// A constant-leaf [`RegressionTree`] flattened into one preorder array.
+///
+/// Prediction is bit-identical to the boxed tree it was flattened from —
+/// same comparisons, same leaf values — but walks contiguous memory
+/// instead of chasing `Box` pointers, which matters on the
+/// epoch-decision hot path where the online source pays one extra
+/// correction walk per prediction. Built with
+/// [`RegressionTree::flatten`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlatTree {
+    nodes: Vec<FlatNode>,
+}
+
+impl FlatTree {
+    /// Predicted value for `features`; bit-identical to the source
+    /// tree's [`RegressionTree::predict`].
+    pub fn predict(&self, features: &Features) -> f64 {
+        let mut i = 0usize;
+        loop {
+            let n = &self.nodes[i];
+            if n.feature == FLAT_LEAF {
+                return n.value;
+            }
+            i = if features.get(n.feature as usize) <= n.threshold {
+                i + 1
+            } else {
+                n.right as usize
+            };
+        }
+    }
+
+    /// Number of nodes (splits + leaves) in the flattened array.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
     }
 }
 
@@ -358,6 +468,49 @@ mod tests {
                 "training sample not fitted exactly"
             );
         }
+    }
+
+    #[test]
+    fn flattened_tree_predicts_bit_identical_to_boxed() {
+        let mut rng = SimRng::new(51);
+        let samples: Vec<Sample> = (0..300)
+            .map(|_| {
+                let f = Features {
+                    oios: rng.uniform() * 32.0,
+                    wr_ratio: rng.uniform(),
+                    rd_rand: rng.uniform(),
+                    ..Features::default()
+                };
+                Sample {
+                    features: f,
+                    latency_us: 15.0 + 2.0 * f.oios + 40.0 * f.wr_ratio,
+                }
+            })
+            .collect();
+        let tree = RegressionTree::fit(
+            &samples,
+            &RegTreeConfig {
+                leaf_model: LeafModel::Mean,
+                ..RegTreeConfig::default()
+            },
+        );
+        let flat = tree.flatten().expect("mean leaves flatten");
+        assert!(flat.node_count() >= tree.leaf_count());
+        for _ in 0..500 {
+            let f = Features {
+                oios: rng.uniform() * 40.0 - 4.0,
+                wr_ratio: rng.uniform() * 1.2,
+                rd_rand: rng.uniform(),
+                ..Features::default()
+            };
+            assert_eq!(flat.predict(&f).to_bits(), tree.predict(&f).to_bits());
+        }
+    }
+
+    #[test]
+    fn linear_leaf_trees_refuse_to_flatten() {
+        let tree = RegressionTree::fit(&table3(), &RegTreeConfig::default());
+        assert!(tree.flatten().is_none());
     }
 
     #[test]

@@ -330,6 +330,33 @@ pub enum TraceEvent {
         /// Discarded request id.
         req: u64,
     },
+    /// The online model's windowed prediction-error statistic crossed its
+    /// threshold for one device tier.
+    DriftDetected {
+        /// Simulated time, ns.
+        t: u64,
+        /// Affected device tier label (`nvdimm` / `ssd` / `hdd`).
+        device: String,
+        /// Page–Hinkley statistic at the crossing, µs.
+        stat_us: f64,
+        /// The configured drift threshold λ, µs.
+        threshold_us: f64,
+    },
+    /// The online model installed a refit correction for one device tier.
+    ModelRefit {
+        /// Simulated time, ns.
+        t: u64,
+        /// Affected device tier label (`nvdimm` / `ssd` / `hdd`).
+        device: String,
+        /// Window samples the refit trained on.
+        samples: u64,
+        /// Mean absolute prediction error over the window before the
+        /// refit, µs.
+        err_before_us: f64,
+        /// Mean absolute prediction error over the window after the
+        /// refit, µs.
+        err_after_us: f64,
+    },
 }
 
 impl TraceEvent {
@@ -375,6 +402,8 @@ impl TraceEvent {
             TraceEvent::SloViolation { .. } => "SloViolation",
             TraceEvent::BarrierDispatch { .. } => "BarrierDispatch",
             TraceEvent::BarrierDiscard { .. } => "BarrierDiscard",
+            TraceEvent::DriftDetected { .. } => "DriftDetected",
+            TraceEvent::ModelRefit { .. } => "ModelRefit",
         }
     }
 }

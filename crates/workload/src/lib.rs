@@ -38,7 +38,7 @@ pub mod spec;
 pub mod synthetic;
 pub mod tenant;
 
-pub use generator::{GenOp, GenRequest, IoGenerator};
+pub use generator::{realized_rate, GenOp, GenRequest, IoGenerator, StreamError};
 pub use profile::WorkloadProfile;
 pub use spec::{SpecProgram, SpecTraffic};
 pub use synthetic::SyntheticSpec;
