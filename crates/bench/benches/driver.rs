@@ -1,12 +1,14 @@
 //! Benchmarks of the scenario-parallel driver and the hot-path kernels it
 //! leans on: the event-queue `pop_due` fast path, the memoized device-model
-//! prediction, the bus-slowdown lookup table, O(1) report building, one
-//! full mix scenario, and grid throughput at 1 vs all workers.
+//! prediction, the staged buffer-cache probe, the bus-slowdown lookup
+//! table, O(1) report building, one full mix scenario, and grid throughput
+//! at 1 vs all workers.
 //!
 //! `scripts/bench_snapshot.sh` runs this with `CRITERION_JSON_OUT` set and
 //! packages the results as `BENCH_driver.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nvhsm_cache::{AccessClass, BypassCache, LrfuCache};
 use nvhsm_core::manager::{NetworkCosts, PolicyEngine, ResidentInfo};
 use nvhsm_core::migration::ActiveMigration;
 use nvhsm_core::training::{pretrain_models, PerfModelSource};
@@ -180,6 +182,49 @@ fn bench_predict_memo(c: &mut Criterion) {
                 }
             }
             black_box(acc)
+        })
+    });
+}
+
+fn bench_cache_probe(c: &mut Criterion) {
+    // The staged datapath probes the node's buffer cache on every
+    // foreground request before device submission, so the warm-hit probe
+    // is a per-request kernel like the memoized prediction above. Same
+    // shape: 64 resident blocks, 8 passes per iteration.
+    const PASSES: usize = 8;
+    const WORKING_SET: u64 = 64;
+    c.bench_function("driver/cache_hit_64x8", |b| {
+        let mut cache = BypassCache::new(LrfuCache::new(512, 0.05));
+        for blk in 0..WORKING_SET {
+            cache.access_classified(blk, false, AccessClass::Normal);
+        }
+        b.iter(|| {
+            let mut hits = 0u64;
+            for _ in 0..PASSES {
+                for blk in 0..WORKING_SET {
+                    let out = cache.access_classified(blk, false, AccessClass::Normal);
+                    hits += out.hit as u64;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    // The sweep side of Fig. 15: migration-class probes take the bypass
+    // branch, touching counters but never the replacement state.
+    c.bench_function("driver/cache_bypass_64x8", |b| {
+        let mut cache = BypassCache::new(LrfuCache::new(512, 0.05));
+        for blk in 0..WORKING_SET {
+            cache.access_classified(blk, false, AccessClass::Normal);
+        }
+        b.iter(|| {
+            let mut hits = 0u64;
+            for _ in 0..PASSES {
+                for blk in 0..WORKING_SET {
+                    let out = cache.access_classified(blk, false, AccessClass::Migrated);
+                    hits += out.hit as u64;
+                }
+            }
+            black_box(hits)
         })
     });
 }
@@ -403,6 +448,7 @@ criterion_group!(
     benches,
     bench_pop_due,
     bench_predict_memo,
+    bench_cache_probe,
     bench_bus_lut,
     bench_report_build,
     bench_replay_journal,

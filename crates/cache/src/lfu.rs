@@ -37,11 +37,10 @@ pub struct LfuCache {
 impl LfuCache {
     /// Creates a cache holding up to `capacity` blocks.
     ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
+    /// A zero capacity is legal and yields a cache that never admits:
+    /// every access is a miss with no eviction, so a disabled cache
+    /// stage costs nothing and changes nothing.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "capacity must be non-zero");
         LfuCache {
             capacity,
             clock: 0,
@@ -66,11 +65,25 @@ impl BufferCache for LfuCache {
             return CacheOutcome::hit();
         }
         self.misses += 1;
+        if self.capacity == 0 {
+            // Never admits: the disabled configuration is a pure pass-through.
+            return CacheOutcome::miss(None);
+        }
         let evicted = if self.entries.len() >= self.capacity {
-            let (&key, &victim) = self.order.iter().next().expect("cache full");
-            self.order.remove(&key);
-            let e = self.entries.remove(&victim).expect("index in sync");
-            Some((victim, e.dirty))
+            // Invariant: entries and order always index the same set, so a
+            // full cache has a first-ordered victim. Guarded rather than
+            // unwrapped so a bookkeeping bug degrades instead of panicking
+            // on the request path.
+            let victim = self.order.iter().next().map(|(&key, &block)| (key, block));
+            debug_assert!(victim.is_some(), "full cache must have an order entry");
+            match victim {
+                Some((key, victim)) => {
+                    self.order.remove(&key);
+                    let dirty = self.entries.remove(&victim).is_some_and(|e| e.dirty);
+                    Some((victim, dirty))
+                }
+                None => None,
+            }
         } else {
             None
         };
@@ -148,6 +161,18 @@ mod tests {
             c.access(b, false);
         }
         assert!(c.contains(42));
+    }
+
+    #[test]
+    fn zero_capacity_never_admits() {
+        let mut c = LfuCache::new(0);
+        for b in 0..8u64 {
+            let out = c.access(b, true);
+            assert!(!out.hit);
+            assert_eq!(out.evicted, None);
+        }
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.misses(), 8);
     }
 
     #[test]

@@ -26,11 +26,13 @@
 //! ```
 
 pub mod bypass;
+pub mod classifier;
 pub mod lfu;
 pub mod lrfu;
 pub mod lru;
 
 pub use bypass::{AccessClass, BypassCache};
+pub use classifier::HotColdClassifier;
 pub use lfu::LfuCache;
 pub use lrfu::LrfuCache;
 pub use lru::LruCache;

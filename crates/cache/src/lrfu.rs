@@ -58,11 +58,14 @@ fn rank_bits(crf: f64, last: u64, lambda: f64) -> u64 {
 impl LrfuCache {
     /// Creates a cache holding up to `capacity` blocks with decay `lambda`.
     ///
+    /// A zero capacity is legal and yields a cache that never admits:
+    /// every access is a miss with no eviction, so a disabled cache
+    /// stage costs nothing and changes nothing.
+    ///
     /// # Panics
     ///
-    /// Panics if `capacity` is zero or `lambda` is negative or non-finite.
+    /// Panics if `lambda` is negative or non-finite.
     pub fn new(capacity: usize, lambda: f64) -> Self {
-        assert!(capacity > 0, "capacity must be non-zero");
         assert!(
             lambda >= 0.0 && lambda.is_finite(),
             "lambda must be a non-negative finite number"
@@ -100,8 +103,12 @@ impl LrfuCache {
     fn evict(&mut self) -> Option<(u64, bool)> {
         let (&(key, block), _) = self.order.iter().next()?;
         self.order.remove(&(key, block));
-        let entry = self.entries.remove(&block).expect("index in sync");
-        Some((block, entry.dirty))
+        // Invariant: entries and order always index the same set. Guarded
+        // rather than unwrapped so a bookkeeping bug degrades instead of
+        // panicking on the request path.
+        let entry = self.entries.remove(&block);
+        debug_assert!(entry.is_some(), "order entry must have a backing entry");
+        Some((block, entry.is_some_and(|e| e.dirty)))
     }
 }
 
@@ -113,6 +120,10 @@ impl BufferCache for LrfuCache {
             return CacheOutcome::hit();
         }
         self.misses += 1;
+        if self.capacity == 0 {
+            // Never admits: the disabled configuration is a pure pass-through.
+            return CacheOutcome::miss(None);
+        }
         let evicted = if self.entries.len() >= self.capacity {
             self.evict()
         } else {
@@ -291,8 +302,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capacity must be non-zero")]
-    fn zero_capacity_rejected() {
-        let _ = LrfuCache::new(0, 0.5);
+    fn zero_capacity_never_admits() {
+        let mut c = LrfuCache::new(0, 0.5);
+        for b in 0..8u64 {
+            let out = c.access(b, false);
+            assert!(!out.hit);
+            assert_eq!(out.evicted, None);
+        }
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.misses(), 8);
     }
 }

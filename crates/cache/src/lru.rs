@@ -36,11 +36,10 @@ pub struct LruCache {
 impl LruCache {
     /// Creates a cache holding up to `capacity` blocks.
     ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
+    /// A zero capacity is legal and yields a cache that never admits:
+    /// every access is a miss with no eviction, so a disabled cache
+    /// stage costs nothing and changes nothing.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "capacity must be non-zero");
         LruCache {
             capacity,
             clock: 0,
@@ -64,11 +63,25 @@ impl BufferCache for LruCache {
             return CacheOutcome::hit();
         }
         self.misses += 1;
+        if self.capacity == 0 {
+            // Never admits: the disabled configuration is a pure pass-through.
+            return CacheOutcome::miss(None);
+        }
         let evicted = if self.entries.len() >= self.capacity {
-            let (&seq, &victim) = self.order.iter().next().expect("cache full");
-            self.order.remove(&seq);
-            let e = self.entries.remove(&victim).expect("index in sync");
-            Some((victim, e.dirty))
+            // Invariant: entries and order always index the same set, so a
+            // full cache has a first-ordered victim. Guarded rather than
+            // unwrapped so a bookkeeping bug degrades instead of panicking
+            // on the request path.
+            let victim = self.order.iter().next().map(|(&seq, &block)| (seq, block));
+            debug_assert!(victim.is_some(), "full cache must have an order entry");
+            match victim {
+                Some((seq, victim)) => {
+                    self.order.remove(&seq);
+                    let dirty = self.entries.remove(&victim).is_some_and(|e| e.dirty);
+                    Some((victim, dirty))
+                }
+                None => None,
+            }
         } else {
             None
         };
@@ -148,6 +161,19 @@ mod tests {
                 assert!(!out.hit, "round {round} block {b} hit unexpectedly");
             }
         }
+    }
+
+    #[test]
+    fn zero_capacity_never_admits() {
+        let mut c = LruCache::new(0);
+        for b in 0..8u64 {
+            let out = c.access(b, b % 2 == 0);
+            assert!(!out.hit);
+            assert_eq!(out.evicted, None);
+        }
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 8);
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Property tests for the buffer-cache policies: capacity discipline,
+//! LRFU's λ-extreme degeneration to LRU/LFU on identical traces, eviction
+//! residency, and the bypass classifier's never-admit guarantee.
+
+use nvhsm_cache::{AccessClass, BufferCache, BypassCache, LfuCache, LrfuCache, LruCache};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// A trace of (block, write) accesses over a small block universe so hits,
+/// evictions, and capacity pressure all actually occur.
+fn trace_strategy() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    proptest::collection::vec((0u64..96, proptest::bool::ANY), 0..400)
+}
+
+fn policies(capacity: usize) -> Vec<Box<dyn BufferCache>> {
+    vec![
+        Box::new(LruCache::new(capacity)),
+        Box::new(LfuCache::new(capacity)),
+        Box::new(LrfuCache::new(capacity, 0.3)),
+    ]
+}
+
+proptest! {
+    /// No policy ever holds more than `capacity` blocks, at any point in
+    /// any trace — including capacity zero, which never admits at all.
+    #[test]
+    fn prop_capacity_never_exceeded(
+        capacity in 0usize..48,
+        trace in trace_strategy(),
+    ) {
+        for mut c in policies(capacity) {
+            for &(block, write) in &trace {
+                c.access(block, write);
+                prop_assert!(c.len() <= capacity, "len {} > capacity {}", c.len(), capacity);
+            }
+            if capacity == 0 {
+                prop_assert_eq!(c.len(), 0);
+                prop_assert_eq!(c.hits(), 0);
+            }
+        }
+    }
+
+    /// LRFU with strong decay tracks LRU and LRFU with λ = 0 tracks LFU on
+    /// the same trace: hit counts within a small tolerance (tie-break
+    /// order is the only legitimate divergence).
+    #[test]
+    fn prop_lrfu_lambda_extremes_degenerate(
+        trace in proptest::collection::vec(0u64..200, 2000..5000),
+    ) {
+        let cap = 48;
+        let mut lrfu_hi = LrfuCache::new(cap, 10.0);
+        let mut lru = LruCache::new(cap);
+        let mut lrfu_lo = LrfuCache::new(cap, 0.0);
+        let mut lfu = LfuCache::new(cap);
+        for &b in &trace {
+            lrfu_hi.access(b, false);
+            lru.access(b, false);
+            lrfu_lo.access(b, false);
+            lfu.access(b, false);
+        }
+        // Tie-break order is the only legitimate divergence (LRFU ties on
+        // block id, LRU/LFU on recency), which can swing a band of hits on
+        // random traces — allow absolute slack on top of a relative bound.
+        let close = |a: u64, b: u64| {
+            (a as f64 - b as f64).abs() <= 20.0 + 0.10 * (a.max(b) as f64)
+        };
+        prop_assert!(
+            close(lrfu_hi.hits(), lru.hits()),
+            "λ→∞: lrfu {} vs lru {}", lrfu_hi.hits(), lru.hits()
+        );
+        prop_assert!(
+            close(lrfu_lo.hits(), lfu.hits()),
+            "λ=0: lrfu {} vs lfu {}", lrfu_lo.hits(), lfu.hits()
+        );
+    }
+
+    /// An eviction only ever returns a block that was resident immediately
+    /// before the access, and the victim is gone afterwards.
+    #[test]
+    fn prop_eviction_returns_only_resident_blocks(
+        capacity in 1usize..32,
+        trace in trace_strategy(),
+    ) {
+        for mut c in policies(capacity) {
+            let mut resident: HashSet<u64> = HashSet::new();
+            for &(block, write) in &trace {
+                let out = c.access(block, write);
+                if let Some((victim, _dirty)) = out.evicted {
+                    prop_assert!(
+                        resident.contains(&victim),
+                        "evicted {victim} was not resident"
+                    );
+                    prop_assert!(!c.contains(victim));
+                    resident.remove(&victim);
+                }
+                if !out.hit {
+                    resident.insert(block);
+                }
+                prop_assert_eq!(resident.len(), c.len());
+            }
+        }
+    }
+
+    /// `BypassCache` never admits a bypassed (migrated) block: after any
+    /// interleaving of normal and migrated traffic, every block touched
+    /// only by migrated accesses stays out of the inner cache, and
+    /// migrated accesses never evict.
+    #[test]
+    fn prop_bypass_never_admits_bypassed_blocks(
+        trace in proptest::collection::vec(
+            (0u64..64, proptest::bool::ANY, proptest::bool::ANY),
+            0..400,
+        ),
+    ) {
+        let mut c = BypassCache::new(LrfuCache::new(16, 0.3));
+        let mut normal_touched: HashSet<u64> = HashSet::new();
+        for &(block, write, migrated) in &trace {
+            let class = if migrated { AccessClass::Migrated } else { AccessClass::Normal };
+            let out = c.access_classified(block, write, class);
+            if migrated {
+                prop_assert!(out.evicted.is_none(), "bypassed access evicted {:?}", out.evicted);
+                if !normal_touched.contains(&block) {
+                    prop_assert!(
+                        !c.contains(block),
+                        "bypassed block {block} was admitted"
+                    );
+                }
+            } else {
+                normal_touched.insert(block);
+            }
+        }
+        let bypassed_only: Vec<u64> = (0u64..64)
+            .filter(|b| !normal_touched.contains(b) && c.contains(*b))
+            .collect();
+        prop_assert!(bypassed_only.is_empty(), "admitted via bypass: {bypassed_only:?}");
+    }
+}

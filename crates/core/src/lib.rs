@@ -64,7 +64,8 @@ pub use manager::{
 pub use migration::{Bitmap, MigrationMode};
 pub use net::{Interconnect, LinkStats, NicConfig, NodeLinkStats};
 pub use node::{
-    IoOutcome, MigrationEvent, NodeConfig, NodeReport, NodeSim, PlacementError, RecoveryPolicy,
+    IoOutcome, MigrationEvent, NodeCacheConfig, NodeConfig, NodeReport, NodeSim, PlacementError,
+    RecoveryPolicy,
 };
 pub use online::{ModelSource, OnlineModelConfig, OnlineModels, RefitPolicy};
 pub use policy::PolicyKind;

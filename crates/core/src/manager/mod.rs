@@ -168,6 +168,12 @@ pub struct Manager {
     /// Short epochs are statistically noisy (the paper samples 30-minute
     /// windows); requiring persistence debounces one-epoch spikes.
     consecutive_triggers: u32,
+    /// Classifier-hot VMDKs, replaced wholesale each epoch via
+    /// [`Manager::observe_heat`]. Hot residents sort ahead of cold ones in
+    /// candidate selection: moving sustained traffic off an overloaded
+    /// device beats moving a one-shot burst that has already cooled. Empty
+    /// (no classifier feeding the engine) leaves the ordering untouched.
+    hot: std::collections::BTreeSet<u32>,
 }
 
 impl Manager {
@@ -195,7 +201,15 @@ impl Manager {
             net: NetworkCosts::default(),
             last_diagnostics: EpochDiagnostics::default(),
             consecutive_triggers: 1, // first call may act immediately
+            hot: std::collections::BTreeSet::new(),
         }
+    }
+
+    /// Replaces the classifier-hot set steering candidate selection. The
+    /// shared hot/cold classifier publishes its per-epoch verdicts here;
+    /// an empty set restores the pure Eq. 6/7 contribution ordering.
+    pub fn observe_heat(&mut self, hot: &[VmdkId]) {
+        self.hot = hot.iter().map(|v| v.0).collect();
     }
 
     /// Sets the interconnect cost terms for cross-node what-if estimates.
@@ -437,12 +451,19 @@ impl Manager {
             .iter()
             .filter(|r| r.io_count > 0)
             .collect();
+        // Classifier-hot residents first (sustained traffic is worth
+        // moving; a cooled burst is not), then by descending latency
+        // contribution. With no heat verdicts the hot set is empty and
+        // the ordering is the pure Eq. 6/7 contribution sort.
         // total_cmp, not partial_cmp: a resident whose measured latency is
         // NaN (no completed requests) must sort deterministically instead
         // of panicking the whole epoch.
         candidates.sort_by(|a, b| {
-            (b.io_count as f64 * b.mean_latency_us)
-                .total_cmp(&(a.io_count as f64 * a.mean_latency_us))
+            let (ha, hb) = (self.hot.contains(&a.vmdk.0), self.hot.contains(&b.vmdk.0));
+            hb.cmp(&ha).then_with(|| {
+                (b.io_count as f64 * b.mean_latency_us)
+                    .total_cmp(&(a.io_count as f64 * a.mean_latency_us))
+            })
         });
         for w in candidates {
             // Destination: the device whose predicted latency after receiving
@@ -753,6 +774,12 @@ pub trait PolicyEngine: Send {
     fn model_stats(&self) -> ModelSourceStats {
         ModelSourceStats::default()
     }
+
+    /// Publishes the shared hot/cold classifier's per-epoch hot set so
+    /// candidate selection can prefer sustained-hot residents. Defaults
+    /// to a no-op: engines without heat awareness (and every run without
+    /// the cache stage) keep the pure Eq. 6/7 ordering.
+    fn observe_heat(&mut self, _hot: &[VmdkId]) {}
 }
 
 impl PolicyEngine for Manager {
@@ -799,6 +826,10 @@ impl PolicyEngine for Manager {
 
     fn model_stats(&self) -> ModelSourceStats {
         Manager::model_stats(self)
+    }
+
+    fn observe_heat(&mut self, hot: &[VmdkId]) {
+        Manager::observe_heat(self, hot);
     }
 }
 

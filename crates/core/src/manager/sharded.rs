@@ -349,6 +349,13 @@ impl PolicyEngine for ShardedPolicyEngine {
     fn model_stats(&self) -> crate::training::ModelSourceStats {
         self.inner.model_stats()
     }
+
+    // Heat verdicts are cluster-global like the model: the classifier
+    // scores VMDKs, not shards, so the full hot set reaches the inner
+    // manager regardless of which slice an epoch decision later scans.
+    fn observe_heat(&mut self, hot: &[crate::vmdk::VmdkId]) {
+        self.inner.observe_heat(hot);
+    }
 }
 
 #[cfg(test)]

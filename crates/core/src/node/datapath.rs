@@ -250,7 +250,16 @@ impl NodeSim {
             op,
             migrated: false,
         };
-        match self.service_block(route.target_ds, io, arrival, home_node) {
+        // The cache_access stage sits between routing/translate and
+        // device service: hits short-circuit submission, misses fill
+        // through `service_block`. `None` means the stage does not apply
+        // (disabled, non-NVDIMM target, or offline device) and the
+        // request takes the plain device path.
+        let result = match self.cache_access(route.target_ds, vmdk, &io, arrival, home_node) {
+            Some(result) => result,
+            None => self.service_block(route.target_ds, io, arrival, home_node),
+        };
+        match result {
             Ok(completion) => IoOutcome::Served {
                 ds: route.target_ds,
                 completion,

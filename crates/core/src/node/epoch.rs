@@ -182,8 +182,15 @@ impl NodeSim {
         self.manage_faults();
         let observations = self.observe(true);
         self.feed_model(&observations);
+        // Hot/cold classification: feed this epoch's per-resident access
+        // counts, close the classifier epoch, and publish the hot set to
+        // cache admission and the policy engine's candidate ordering.
+        self.cache_epoch(&observations);
 
-        // Fig. 15 bookkeeping: NVDIMM cache hit ratio this epoch.
+        // Fig. 15 bookkeeping: NVDIMM cache hit ratio this epoch. With the
+        // staged cache enabled, hits never reach the device, so the hit
+        // counters come from the stage and the request total adds the
+        // short-circuited hits back on top of the device's lifetime count.
         let (mut hits, mut misses, mut nv_reqs) = (0u64, 0u64, 0u64);
         for ds in &self.datastores {
             if ds.device().kind() != DeviceKind::Nvdimm {
@@ -194,7 +201,12 @@ impl NodeSim {
             // request counts and the device for cache counters.
             nv_reqs += ds.device().stats().lifetime_requests();
         }
-        if let Some(nv) = self.nvdimm_device(0) {
+        if let Some(stage) = &self.cache {
+            let totals = stage.totals();
+            hits = totals.hits;
+            misses = totals.misses;
+            nv_reqs += totals.hits;
+        } else if let Some(nv) = self.nvdimm_device(0) {
             hits = nv.cache().hits();
             misses = nv.cache().misses();
         }

@@ -30,6 +30,7 @@
 //! the narrow [`crate::manager::PolicyEngine`] seam) and [`report`]
 //! (accumulator snapshots).
 
+pub mod cache_stage;
 pub mod datapath;
 pub mod epoch;
 pub mod mirror;
@@ -59,6 +60,7 @@ use nvhsm_workload::{IoGenerator, SpecProgram, SpecTraffic, WorkloadProfile};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
+pub use cache_stage::NodeCacheConfig;
 pub use datapath::IoOutcome;
 pub use recovery::RecoveryPolicy;
 pub use report::{DeviceReport, MigrationEvent, NodeReport, PlacementError};
@@ -135,6 +137,13 @@ pub struct NodeConfig {
     /// the paper's static §4 setup, byte-identical to builds without the
     /// online subsystem.
     pub online_model: Option<crate::online::OnlineModelConfig>,
+    /// Node-level buffer-cache stage hoisted out of the NVDIMM device
+    /// model into the datapath (see [`cache_stage`]). `Some` with a
+    /// positive capacity fronts each node's NVDIMM with an LRFU cache
+    /// (the device's on-controller cache is disabled so caching happens
+    /// in exactly one place); `None` — or a zero capacity — keeps the
+    /// engine byte-identical to builds without the stage.
+    pub cache: Option<NodeCacheConfig>,
 }
 
 impl NodeConfig {
@@ -167,6 +176,7 @@ impl NodeConfig {
             scrub_batch: 8,
             shard_nodes: 0,
             online_model: None,
+            cache: None,
         }
     }
 }
@@ -275,6 +285,9 @@ pub struct NodeSim {
     trace: Option<SharedSink>,
     metrics: Option<MetricsRegistry>,
     epoch_ordinal: u64,
+    /// The hoisted buffer-cache stage; `None` when disabled (the engine
+    /// is then byte-identical to builds without the stage).
+    cache: Option<cache_stage::CacheStage>,
 }
 
 impl NodeSim {
@@ -318,9 +331,20 @@ impl NodeSim {
         } else {
             MigrationTuning::baseline()
         };
+        // With the staged cache enabled, caching is hoisted out of the
+        // device: the NVDIMM's on-controller cache is built at capacity
+        // zero (never admits) so exactly one layer caches.
+        let stage = cfg
+            .cache
+            .as_ref()
+            .filter(|c| c.enabled())
+            .map(|c| cache_stage::CacheStage::new(*c, nodes));
         let mut datastores = Vec::new();
         for node in 0..nodes {
-            let nvdimm_cfg = cfg.nvdimm.clone().with_tuning(tuning);
+            let mut nvdimm_cfg = cfg.nvdimm.clone().with_tuning(tuning);
+            if stage.is_some() {
+                nvdimm_cfg.cache_blocks = 0;
+            }
             datastores.push(Datastore::new(
                 DatastoreId(datastores.len()),
                 Box::new(NvdimmDevice::new(nvdimm_cfg)),
@@ -462,6 +486,7 @@ impl NodeSim {
             trace: None,
             metrics: None,
             epoch_ordinal: 0,
+            cache: stage,
         }
     }
 

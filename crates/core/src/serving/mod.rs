@@ -487,6 +487,15 @@ impl ServingSim {
         self.engine.model_stats()
     }
 
+    /// Forwards a hot/cold heat observation to the engine (see
+    /// [`PolicyEngine::observe_heat`]). The serving plane has no request
+    /// datapath of its own, so heat arrives from outside — a node-level
+    /// classifier or an operator hint; hot VMDKs are preferred as
+    /// migration candidates at the next epoch.
+    pub fn observe_heat(&mut self, hot: &[crate::vmdk::VmdkId]) {
+        self.engine.observe_heat(hot);
+    }
+
     /// Per-tenant QoS settlement for the epoch that just closed.
     fn settle_qos(&mut self) {
         let store_lat: Vec<f64> = (0..self.stores.len())

@@ -168,12 +168,14 @@ pub struct NvdimmDevice {
 }
 
 impl NvdimmDevice {
-    /// Builds the device.
+    /// Builds the device. A zero `cache_blocks` disables the on-controller
+    /// buffer cache (every access goes to flash) — the configuration the
+    /// staged node-level cache uses when it hoists caching out of the
+    /// device.
     ///
     /// # Panics
     ///
-    /// Panics if the flash or DRAM configuration is invalid or
-    /// `cache_blocks` is zero.
+    /// Panics if the flash or DRAM configuration is invalid.
     pub fn new(cfg: NvdimmConfig) -> Self {
         let flash = FlashDevice::new(cfg.flash.clone());
         let cache = BypassCache::new(LrfuCache::new(cfg.cache_blocks, cfg.lrfu_lambda));

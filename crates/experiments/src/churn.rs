@@ -57,6 +57,11 @@ pub struct ChurnParams {
     pub intensity: ChurnIntensity,
     /// Schedule seed.
     pub seed: u64,
+    /// Forward a hot/cold heat observation naming only a VMDK id the
+    /// fleet never allocates before every epoch. Heat for non-candidates
+    /// must be inert — the differential-oracle configuration for the
+    /// [`nvhsm_core::PolicyEngine::observe_heat`] seam.
+    pub phantom_heat: bool,
 }
 
 impl ChurnParams {
@@ -67,6 +72,7 @@ impl ChurnParams {
             shard_nodes: 2,
             intensity: ChurnIntensity::Calm,
             seed: 42,
+            phantom_heat: false,
         }
     }
 
@@ -131,6 +137,9 @@ pub fn run_churn_observed(
                 ChurnAction::Admit(spec) => drop(sim.admit_tenant(&spec)),
                 ChurnAction::Retire(tenant) => drop(sim.retire_tenant(tenant)),
             }
+        }
+        if params.phantom_heat {
+            sim.observe_heat(&[nvhsm_core::VmdkId(u32::MAX)]);
         }
         sim.run_epoch();
         epoch_end += epoch_s;

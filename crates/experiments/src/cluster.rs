@@ -15,7 +15,7 @@
 use crate::harness::{ExperimentResult, Row, Scale};
 use crate::mix::{mix_profiles, MixObservation};
 use crate::obs::{ObsOptions, ScenarioObs, TRACE_RING_CAPACITY};
-use nvhsm_core::{ClusterConfig, ClusterReport, ClusterSim, NodeSim, PolicyKind};
+use nvhsm_core::{ClusterConfig, ClusterReport, ClusterSim, NodeCacheConfig, NodeSim, PolicyKind};
 use nvhsm_obs::{drain_ring_stats, shared, RingSink};
 use nvhsm_sim::SimDuration;
 
@@ -34,6 +34,10 @@ pub struct ClusterParams {
     /// shard, byte-identical to unsharded — the differential-oracle
     /// configuration).
     pub shard_nodes: usize,
+    /// Staged buffer cache in front of each NVDIMM. `None` (or a zero
+    /// capacity) leaves the datapath byte-identical to builds without the
+    /// cache stage — the differential-oracle configuration.
+    pub cache: Option<NodeCacheConfig>,
 }
 
 /// An effectively infinite link: wire time rounds to ~0 for any transfer
@@ -53,6 +57,7 @@ impl ClusterParams {
             policy,
             seed: 42,
             shard_nodes: 0,
+            cache: None,
         }
     }
 }
@@ -102,6 +107,7 @@ fn cluster_config(params: ClusterParams, scale: Scale) -> ClusterConfig {
     cfg.node.train_requests = scale.train_requests();
     cfg.node.nic_bandwidth = params.bandwidth;
     cfg.node.shard_nodes = params.shard_nodes;
+    cfg.node.cache = params.cache;
     cfg
 }
 

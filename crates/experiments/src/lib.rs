@@ -30,7 +30,9 @@
 //! | `crash`   | whole-node power loss — crash rate × recovery policy × scrub rate |
 //! | `churn`   | multi-tenant serving — cluster size × shard size × open-loop tenant churn |
 //! | `drift`   | online-learned performance model — static vs online source under a mid-run regime shift |
+//! | `cache`   | staged buffer cache — cache size × migration policy × sweep bypass, plus classifier-driven admission |
 
+pub mod cache;
 pub mod characterization;
 pub mod churn;
 pub mod cluster;
@@ -60,7 +62,7 @@ pub mod tau;
 pub use harness::{ExperimentResult, Row, Scale};
 
 /// All experiment ids, in paper order.
-pub const ALL_EXPERIMENTS: [&str; 22] = [
+pub const ALL_EXPERIMENTS: [&str; 23] = [
     "table1",
     "table2",
     "fig4",
@@ -83,6 +85,7 @@ pub const ALL_EXPERIMENTS: [&str; 22] = [
     "crash",
     "churn",
     "drift",
+    "cache",
 ];
 
 /// Runs one experiment by id.
@@ -114,6 +117,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Result<ExperimentResult, String
         "crash" => Ok(crash::run(scale)),
         "churn" => Ok(churn::run(scale)),
         "drift" => Ok(drift::run(scale)),
+        "cache" => Ok(cache::run(scale)),
         other => Err(format!(
             "unknown experiment '{other}'; known: {}",
             ALL_EXPERIMENTS.join(", ")

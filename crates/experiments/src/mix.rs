@@ -16,7 +16,7 @@
 
 use crate::harness::Scale;
 use crate::obs::{ObsOptions, ScenarioObs, TRACE_RING_CAPACITY};
-use nvhsm_core::{NodeConfig, NodeReport, NodeSim, PolicyKind, RecoveryPolicy};
+use nvhsm_core::{NodeCacheConfig, NodeConfig, NodeReport, NodeSim, PolicyKind, RecoveryPolicy};
 use nvhsm_fault::{CrashRate, FaultIntensity, FaultPlan, NodeFaultPlan};
 use nvhsm_obs::{drain_ring_stats, shared, MetricsSnapshot, RingSink, TraceEvent};
 use nvhsm_sim::SimDuration;
@@ -55,6 +55,10 @@ pub struct MixParams {
     /// = one shard, byte-identical to unsharded — the differential-oracle
     /// configuration).
     pub shard_nodes: usize,
+    /// Staged buffer cache in front of each NVDIMM. `None` (or a zero
+    /// capacity) leaves the datapath byte-identical to builds without the
+    /// cache stage — the differential-oracle configuration.
+    pub cache: Option<NodeCacheConfig>,
 }
 
 /// Node-crash, recovery-policy and scrubber knobs of one mix run.
@@ -84,6 +88,7 @@ impl MixParams {
             fault_intensity: None,
             crash: None,
             shard_nodes: 0,
+            cache: None,
         }
     }
 
@@ -160,6 +165,7 @@ pub fn run_mix_observed(
     cfg.tau = params.tau;
     cfg.spec = params.spec;
     cfg.shard_nodes = params.shard_nodes;
+    cfg.cache = params.cache;
     cfg.train_requests = scale.train_requests();
     if let Some(intensity) = params.fault_intensity {
         // The plan must span warm-up *and* the measured window: schedules

@@ -5,7 +5,7 @@
 use nvhsm_device::{IoOp, IoRequest, SsdConfig, SsdDevice, StorageDevice};
 use nvhsm_experiments::churn::{self, ChurnIntensity, ChurnParams};
 use nvhsm_experiments::obs::{self, ObsOptions};
-use nvhsm_experiments::{cluster, crash, drift, faults, fig12, Scale};
+use nvhsm_experiments::{cache, cluster, crash, drift, faults, fig12, Scale};
 use nvhsm_obs::to_jsonl;
 use nvhsm_sim::{parallel, SimDuration, SimRng, SimTime};
 use std::sync::Mutex;
@@ -177,6 +177,71 @@ fn traces_are_byte_identical_across_job_counts() {
     assert_eq!(serial, fanned);
 }
 
+/// Runs the cache sweep with tracing + metrics armed and renders every
+/// scenario capture into one string, exactly as `--trace`/`--metrics` would.
+fn traced_cache_dump() -> String {
+    obs::set_observation(ObsOptions {
+        trace: true,
+        metrics: true,
+    });
+    let report = cache::run(Scale::Quick);
+    let mut dump = String::new();
+    for s in obs::take_observations() {
+        dump.push_str(&format!(
+            "## grid={} case={} label={} dropped={}\n",
+            s.grid, s.case, s.label, s.dropped
+        ));
+        dump.push_str(&to_jsonl(&s.events));
+        if let Some(snap) = &s.metrics {
+            dump.push_str(&serde_json::to_string(snap).expect("serializable snapshot"));
+            dump.push('\n');
+        }
+    }
+    obs::set_observation(ObsOptions::OFF);
+    dump.push_str(&report.to_csv());
+    dump
+}
+
+#[test]
+fn cache_experiment_is_byte_identical_across_job_counts() {
+    // The cache stage keeps no RNG of its own: hit/miss sequences, sweep
+    // bypass verdicts and classifier scores derive only from the request
+    // stream and the simulation clock, so the whole sweep table must not
+    // see the worker count.
+    let _guard = JOBS_LOCK.lock().unwrap();
+    parallel::set_jobs(Some(1));
+    let serial = cache::run(Scale::Quick);
+    parallel::set_jobs(Some(4));
+    let parallel_run = cache::run(Scale::Quick);
+    parallel::set_jobs(None);
+
+    assert_eq!(serial.render(), parallel_run.render());
+    assert_eq!(serial.to_csv(), parallel_run.to_csv());
+    assert_eq!(
+        serde_json::to_string(&serial).expect("serializable"),
+        serde_json::to_string(&parallel_run).expect("serializable"),
+    );
+}
+
+#[test]
+fn cache_traces_are_byte_identical_across_job_counts() {
+    // CacheHit/CacheMiss/CacheEvict/CacheBypass events and the cache
+    // counters must order by (grid, case), never by worker completion.
+    let _guard = JOBS_LOCK.lock().unwrap();
+    parallel::set_jobs(Some(1));
+    let serial = traced_cache_dump();
+    parallel::set_jobs(Some(4));
+    let fanned = traced_cache_dump();
+    parallel::set_jobs(None);
+
+    assert!(!serial.is_empty());
+    assert!(
+        serial.contains("CacheBypass"),
+        "cache trace is missing sweep-bypass events"
+    );
+    assert_eq!(serial, fanned);
+}
+
 #[test]
 fn churn_experiment_is_byte_identical_across_job_counts() {
     // Tenant arrival schedules, admission decisions and SLO accounting
@@ -255,6 +320,7 @@ fn datacenter_churn_dump() -> (String, u64) {
             shard_nodes: 5,
             intensity: ChurnIntensity::Flash,
             seed: 9,
+            phantom_heat: false,
         }],
         Scale::Quick,
     );

@@ -342,6 +342,55 @@ pub enum TraceEvent {
         /// The configured drift threshold λ, µs.
         threshold_us: f64,
     },
+    /// The staged buffer cache served a read without touching the device.
+    CacheHit {
+        /// Simulated time, ns.
+        t: u64,
+        /// Device kind label of the backing datastore.
+        dev: String,
+        /// Node the cache's datastore lives on.
+        node: u32,
+        /// The 4 KiB block served from cache.
+        block: u64,
+    },
+    /// The staged buffer cache missed; the fill was charged to the device.
+    CacheMiss {
+        /// Simulated time, ns.
+        t: u64,
+        /// Device kind label of the backing datastore.
+        dev: String,
+        /// Node the cache's datastore lives on.
+        node: u32,
+        /// The missed 4 KiB block.
+        block: u64,
+        /// `true` when admitting the fill evicted a victim.
+        evicted: bool,
+    },
+    /// The staged buffer cache evicted a block to admit a fill.
+    CacheEvict {
+        /// Simulated time, ns.
+        t: u64,
+        /// Device kind label of the backing datastore.
+        dev: String,
+        /// Node the cache's datastore lives on.
+        node: u32,
+        /// The evicted 4 KiB block.
+        block: u64,
+        /// `true` when the victim was dirty (a flash write-back was
+        /// charged through the fault-gated device path).
+        dirty: bool,
+    },
+    /// A migration-sweep access skipped the staged cache structurally.
+    CacheBypass {
+        /// Simulated time, ns.
+        t: u64,
+        /// Device kind label of the backing datastore.
+        dev: String,
+        /// Node the cache's datastore lives on.
+        node: u32,
+        /// The bypassed 4 KiB block.
+        block: u64,
+    },
     /// The online model installed a refit correction for one device tier.
     ModelRefit {
         /// Simulated time, ns.
@@ -403,6 +452,10 @@ impl TraceEvent {
             TraceEvent::BarrierDispatch { .. } => "BarrierDispatch",
             TraceEvent::BarrierDiscard { .. } => "BarrierDiscard",
             TraceEvent::DriftDetected { .. } => "DriftDetected",
+            TraceEvent::CacheHit { .. } => "CacheHit",
+            TraceEvent::CacheMiss { .. } => "CacheMiss",
+            TraceEvent::CacheEvict { .. } => "CacheEvict",
+            TraceEvent::CacheBypass { .. } => "CacheBypass",
             TraceEvent::ModelRefit { .. } => "ModelRefit",
         }
     }

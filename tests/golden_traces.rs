@@ -13,8 +13,8 @@
 //! updated files; CI regenerates and `git diff --exit-code`s them.
 
 use nvdimm_hsm::core::{
-    DatastoreId, MigrationDecision, MigrationMode, NodeConfig, NodeSim, PolicyKind, RecoveryPolicy,
-    VmdkId,
+    DatastoreId, MigrationDecision, MigrationMode, NodeCacheConfig, NodeConfig, NodeSim,
+    PolicyKind, RecoveryPolicy, VmdkId,
 };
 use nvdimm_hsm::fault::{
     DeviceFaultSchedule, FaultKind, FaultPlan, FaultWindow, LatentFault, NodeFaultPlan,
@@ -23,13 +23,16 @@ use nvdimm_hsm::fault::{
 use nvdimm_hsm::obs::{drain_ring, shared, to_jsonl, RingSink, TraceEvent};
 use nvdimm_hsm::sim::{SimDuration, SimTime};
 use nvdimm_hsm::workload::hibench::{profile, Benchmark};
+use nvdimm_hsm::workload::WorkloadProfile;
 use std::path::PathBuf;
 
 /// Event kinds that form the compact control-plane trace: rare, decision-
 /// level transitions (not per-I/O traffic), so goldens stay reviewable.
 /// `NetTransfer` is emitted once per cross-node copy round (aggregated),
-/// never per block, so it stays golden-sized too.
-const CONTROL_KINDS: [&str; 17] = [
+/// never per block, so it stays golden-sized too. The Cache* kinds are
+/// per-request; they only appear in scenarios that enable the cache
+/// stage, and those goldens pin a bounded window of the stream.
+const CONTROL_KINDS: [&str; 21] = [
     "MigrationStart",
     "MigrationSuspend",
     "MigrationResume",
@@ -47,6 +50,10 @@ const CONTROL_KINDS: [&str; 17] = [
     "TenantAdmit",
     "TenantRetire",
     "SloViolation",
+    "CacheHit",
+    "CacheMiss",
+    "CacheEvict",
+    "CacheBypass",
 ];
 
 fn control_plane(events: Vec<TraceEvent>) -> Vec<TraceEvent> {
@@ -408,6 +415,124 @@ fn golden_tenant_lifecycle() {
         .expect("retire event present");
     assert_eq!(violations, 3, "three violating epochs before retirement");
     check_golden("tenant_lifecycle", &events);
+}
+
+/// Builds the staged-cache sweep scenario: a small zipf-hot workload
+/// sharing the NVDIMM with a cold VMDK, the cache warmed, then the cold
+/// VMDK forcibly swept off the device. With the structural bypass the
+/// sweep's reads ride the Migrated class — the trace shows MigrationStart
+/// followed by CacheBypass for every swept block while the hot workload
+/// keeps hitting; without it the same sweep floods the cache and the
+/// trace becomes an eviction storm.
+fn run_cache_sweep_scenario(bypass: bool) -> Vec<TraceEvent> {
+    let mut cfg = quick_cfg(PolicyKind::Bca);
+    cfg.tau = 1.0; // balancer quiet: the forced sweep is the only migration
+    cfg.cache = Some(NodeCacheConfig {
+        capacity_blocks: 512,
+        sweep_bypass: bypass,
+        ..NodeCacheConfig::paper_scale()
+    });
+    let mut sim = NodeSim::new(cfg, 5);
+    let sink = shared(RingSink::new(1 << 16));
+    sim.set_trace_sink(Some(sink.clone()));
+    let hot = WorkloadProfile {
+        name: "hot".into(),
+        wr_ratio: 0.1,
+        rd_rand: 1.0,
+        wr_rand: 1.0,
+        mean_size_blocks: 1.0,
+        max_size_blocks: 1,
+        iops: 400.0,
+        working_set_blocks: 256,
+        zipf_theta: 0.9,
+        phase_period_s: 0.0,
+        phase_amplitude: 0.0,
+    };
+    sim.add_workload_on(hot.clone(), 0)
+        .expect("the NVDIMM holds the hot working set");
+    let cold = WorkloadProfile {
+        name: "cold".into(),
+        iops: 1.0,
+        working_set_blocks: 2_000,
+        zipf_theta: 0.0,
+        ..hot
+    };
+    sim.add_workload_on(cold, 0)
+        .expect("the NVDIMM holds the cold VMDK");
+    sim.run(SimDuration::from_ms(400)); // warm the cache
+    sim.start_migration(MigrationDecision {
+        vmdk: VmdkId(1),
+        src: DatastoreId(0),
+        dst: DatastoreId(2),
+        mode: MigrationMode::FullCopy,
+    });
+    sim.run(SimDuration::from_secs(2));
+    control_plane(drain_ring(&sink))
+}
+
+/// How much of the per-request cache stream each golden pins: enough to
+/// show the MigrationStart → CacheBypass/CacheHit interleaving (or the
+/// miss/evict storm) while keeping the golden reviewable.
+const CACHE_GOLDEN_WINDOW: usize = 40;
+
+#[test]
+fn golden_cache_sweep_bypass() {
+    let events = run_cache_sweep_scenario(true);
+    let start = events
+        .iter()
+        .position(|e| e.kind() == "MigrationStart")
+        .expect("forced sweep must start");
+    let sweep = &events[start..];
+    let kinds: Vec<&str> = sweep.iter().map(|e| e.kind()).collect();
+    let bypassed = kinds.iter().filter(|k| **k == "CacheBypass").count();
+    assert!(
+        bypassed >= 2_000,
+        "every swept block rides the bypass class: {bypassed}"
+    );
+    assert_eq!(
+        kinds.iter().filter(|k| **k == "CacheEvict").count(),
+        0,
+        "a bypassed sweep must leave the cache contents untouched"
+    );
+    // The structural claim: the hot working set still hits after the
+    // sweep's final bypassed read — nothing got flushed.
+    let last_bypass = kinds
+        .iter()
+        .rposition(|k| *k == "CacheBypass")
+        .expect("bypass events present");
+    assert!(
+        kinds[last_bypass..].contains(&"CacheHit"),
+        "hot working set stopped hitting after the sweep"
+    );
+    check_golden(
+        "cache_sweep_bypass",
+        &sweep[..CACHE_GOLDEN_WINDOW.min(sweep.len())],
+    );
+}
+
+#[test]
+fn golden_cache_eviction_storm() {
+    let events = run_cache_sweep_scenario(false);
+    let start = events
+        .iter()
+        .position(|e| e.kind() == "MigrationStart")
+        .expect("forced sweep must start");
+    let sweep = &events[start..];
+    let kinds: Vec<&str> = sweep.iter().map(|e| e.kind()).collect();
+    assert_eq!(
+        kinds.iter().filter(|k| **k == "CacheBypass").count(),
+        0,
+        "no bypass class without the structural bypass"
+    );
+    let evictions = kinds.iter().filter(|k| **k == "CacheEvict").count();
+    assert!(
+        evictions > 500,
+        "a non-bypassed sweep floods a 512-block cache: {evictions} evictions"
+    );
+    check_golden(
+        "cache_eviction_storm",
+        &sweep[..CACHE_GOLDEN_WINDOW.min(sweep.len())],
+    );
 }
 
 #[test]

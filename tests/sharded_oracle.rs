@@ -115,6 +115,7 @@ fn multi_shard_churn_respects_every_capacity_ledger() {
             shard_nodes: 3,
             intensity: ChurnIntensity::Flash,
             seed: 7,
+            ..ChurnParams::standard()
         },
         Scale::Quick,
     );
